@@ -1,0 +1,136 @@
+// Ablations of VAQ's secondary design choices (the knobs DESIGN.md §5
+// calls out), complementing Figure 9's subspace/allocation ablation:
+//   * early-abandon check interval (Section III-E: "checks after every
+//     four subspaces");
+//   * TI centroid prefix width (TIClusterNumSubs);
+//   * TI cluster count (the paper fixes 1000);
+//   * training threads (encode + TI assignment parallelism).
+//
+// Flags: --n=<base vectors> --queries=<count>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/vaq_index.h"
+#include "eval/metrics.h"
+
+using namespace vaq;
+using namespace vaq::bench;
+
+namespace {
+constexpr size_t kK = 100;
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t n = FlagValue(argc, argv, "--n", 20000);
+  const size_t nq = FlagValue(argc, argv, "--queries", 40);
+  std::printf("== Ablations: EA interval / TI prefix / TI clusters / train "
+              "threads (SIFT-like, k=%zu) ==\n\n",
+              kK);
+  const Workload w = MakeWorkload(SyntheticKind::kSiftLike, n, nq, kK, 321);
+
+  VaqOptions base_opts;
+  base_opts.num_subspaces = 32;
+  base_opts.total_bits = 256;
+  base_opts.ti_clusters = 500;
+
+  {
+    auto index = VaqIndex::Train(w.base, base_opts);
+    VAQ_CHECK(index.ok());
+    std::printf("EA check interval (EA mode, results identical by "
+                "construction):\n");
+    std::printf("  %-10s %12s %10s\n", "interval", "query(ms)", "recall");
+    for (size_t interval : {1, 2, 4, 8, 16}) {
+      SearchParams params;
+      params.k = kK;
+      params.mode = SearchMode::kEarlyAbandon;
+      params.ea_check_interval = interval;
+      double ms = 0.0;
+      auto results = TimeSearch(
+          w,
+          [&](const float* q, std::vector<Neighbor>* out) {
+            (void)index->Search(q, params, out);
+          },
+          &ms);
+      std::printf("  %-10zu %12.3f %10.4f\n", interval, ms,
+                  Recall(results, w.ground_truth, kK));
+    }
+    std::printf("\n");
+  }
+
+  {
+    std::printf("TI centroid prefix subspaces (visit=0.25):\n");
+    std::printf("  %-10s %12s %10s %14s\n", "prefix", "query(ms)", "recall",
+                "codes skipped");
+    for (size_t prefix : {1, 2, 4, 8, 16, 32}) {
+      VaqOptions opts = base_opts;
+      opts.ti_prefix_subspaces = prefix;
+      auto index = VaqIndex::Train(w.base, opts);
+      VAQ_CHECK(index.ok());
+      SearchParams params;
+      params.k = kK;
+      params.mode = SearchMode::kTriangleInequality;
+      params.visit_fraction = 0.25;
+      size_t skipped = 0;
+      std::vector<std::vector<Neighbor>> results(w.queries.rows());
+      CpuTimer timer;
+      for (size_t q = 0; q < w.queries.rows(); ++q) {
+        SearchStats stats;
+        (void)index->Search(w.queries.row(q), params, &results[q], &stats);
+        skipped += stats.codes_skipped_ti;
+      }
+      const double ms =
+          timer.ElapsedMillis() / static_cast<double>(w.queries.rows());
+      std::printf("  %-10zu %12.3f %10.4f %14zu\n", prefix, ms,
+                  Recall(results, w.ground_truth, kK),
+                  skipped / w.queries.rows());
+    }
+    std::printf("\n");
+  }
+
+  {
+    std::printf("TI cluster count (visit=0.25):\n");
+    std::printf("  %-10s %12s %10s %12s\n", "clusters", "query(ms)",
+                "recall", "build(s)");
+    for (size_t clusters : {100, 250, 500, 1000, 2000}) {
+      VaqOptions opts = base_opts;
+      opts.ti_clusters = clusters;
+      WallTimer build_timer;
+      auto index = VaqIndex::Train(w.base, opts);
+      VAQ_CHECK(index.ok());
+      const double build_s = build_timer.ElapsedSeconds();
+      SearchParams params;
+      params.k = kK;
+      params.mode = SearchMode::kTriangleInequality;
+      params.visit_fraction = 0.25;
+      double ms = 0.0;
+      auto results = TimeSearch(
+          w,
+          [&](const float* q, std::vector<Neighbor>* out) {
+            (void)index->Search(q, params, out);
+          },
+          &ms);
+      std::printf("  %-10zu %12.3f %10.4f %12.2f\n", clusters, ms,
+                  Recall(results, w.ground_truth, kK), build_s);
+    }
+    std::printf("\n");
+  }
+
+  {
+    std::printf("Training threads (encode + TI assignment):\n");
+    std::printf("  %-10s %12s\n", "threads", "train(s)");
+    for (size_t threads : {1, 2, 4, 0}) {
+      VaqOptions opts = base_opts;
+      opts.train_threads = threads;
+      WallTimer timer;
+      auto index = VaqIndex::Train(w.base, opts);
+      VAQ_CHECK(index.ok());
+      if (threads == 0) {
+        std::printf("  %-10s %12.2f\n", "auto", timer.ElapsedSeconds());
+      } else {
+        std::printf("  %-10zu %12.2f\n", threads, timer.ElapsedSeconds());
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "bench_common.h"
+
+#include <cstring>
+
+#include "eval/ground_truth.h"
+
+namespace vaq::bench {
+
+Workload MakeWorkload(SyntheticKind kind, size_t base_count,
+                      size_t query_count, size_t k, uint64_t seed) {
+  Workload w;
+  w.name = SyntheticKindName(kind);
+  w.base = GenerateSynthetic(kind, base_count, seed);
+  w.queries = GenerateSyntheticQueries(kind, query_count, seed, 0.05);
+  w.k = k;
+  auto gt = BruteForceKnn(w.base, w.queries, k, 0);
+  VAQ_CHECK(gt.ok());
+  w.ground_truth = std::move(*gt);
+  return w;
+}
+
+size_t FlagValue(int argc, char** argv, const std::string& flag,
+                 size_t fallback) {
+  const std::string prefix = flag + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return static_cast<size_t>(
+          std::strtoull(argv[i] + prefix.size(), nullptr, 10));
+    }
+  }
+  return fallback;
+}
+
+void PrintTableHeader() {
+  std::printf("%-14s %-14s %10s %10s %10s %12s\n", "dataset", "method",
+              "recall", "map", "train(s)", "query(ms)");
+  std::printf("%-14s %-14s %10s %10s %10s %12s\n", "-------", "------",
+              "------", "---", "--------", "---------");
+}
+
+void PrintRow(const ResultRow& row) {
+  std::printf("%-14s %-14s %10.4f %10.4f %10.2f %12.3f\n",
+              row.dataset.c_str(), row.method.c_str(), row.recall, row.map,
+              row.train_seconds, row.query_millis);
+  std::fflush(stdout);
+}
+
+}  // namespace vaq::bench

@@ -1,0 +1,64 @@
+#ifndef VAQ_BENCH_BENCH_COMMON_H_
+#define VAQ_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/timer.h"
+#include "common/topk.h"
+#include "datasets/synthetic.h"
+
+namespace vaq::bench {
+
+/// A ready-to-measure workload: base vectors, queries, exact answers.
+struct Workload {
+  std::string name;
+  FloatMatrix base;
+  FloatMatrix queries;
+  std::vector<std::vector<Neighbor>> ground_truth;
+  size_t k = 100;
+};
+
+/// Builds a workload for one of the five large-scale-like families with
+/// exact ground truth (threads used for the brute-force pass).
+Workload MakeWorkload(SyntheticKind kind, size_t base_count,
+                      size_t query_count, size_t k, uint64_t seed);
+
+/// Parses "--flag=value" style integer flags (returns fallback if absent).
+size_t FlagValue(int argc, char** argv, const std::string& flag,
+                 size_t fallback);
+
+/// One printed result line, shared across the figure benches.
+struct ResultRow {
+  std::string dataset;
+  std::string method;
+  double recall = 0.0;
+  double map = 0.0;
+  double train_seconds = 0.0;
+  double query_millis = 0.0;  ///< mean per query (CPU time)
+};
+
+void PrintTableHeader();
+void PrintRow(const ResultRow& row);
+
+/// Runs `search(q, result)` over every query of the workload, returning
+/// results and filling per-query mean CPU milliseconds.
+template <typename SearchFn>
+std::vector<std::vector<Neighbor>> TimeSearch(const Workload& workload,
+                                              SearchFn&& search,
+                                              double* mean_millis) {
+  std::vector<std::vector<Neighbor>> results(workload.queries.rows());
+  CpuTimer timer;
+  for (size_t q = 0; q < workload.queries.rows(); ++q) {
+    search(workload.queries.row(q), &results[q]);
+  }
+  *mean_millis = timer.ElapsedMillis() /
+                 static_cast<double>(workload.queries.rows());
+  return results;
+}
+
+}  // namespace vaq::bench
+
+#endif  // VAQ_BENCH_BENCH_COMMON_H_

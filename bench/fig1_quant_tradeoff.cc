@@ -1,0 +1,126 @@
+// Figure 1: recall and query-time comparison of quantization methods in
+// the hardware-accelerated regime — 256-bit budget over 64 subspaces
+// (4 bits/subspace for PQ/OPQ, Bolt's native width). Shows the trade the
+// paper opens with: Bolt is fast but lossy, PQFS keeps PQ accuracy but is
+// slower than Bolt, OPQ helps only sometimes, and VAQ improves both axes.
+//
+// Flags: --n=<base vectors> --queries=<count>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/vaq_index.h"
+#include "eval/metrics.h"
+#include "quant/bolt.h"
+#include "quant/opq.h"
+#include "quant/pq.h"
+#include "quant/pqfs.h"
+
+using namespace vaq;
+using namespace vaq::bench;
+
+namespace {
+
+constexpr size_t kSubspaces = 64;
+constexpr size_t kBudget = 256;  // 4 bits/subspace
+constexpr size_t kK = 100;
+
+void RunQuantizer(const Workload& w, Quantizer& method, double train_s) {
+  ResultRow row;
+  row.dataset = w.name;
+  row.method = method.name();
+  row.train_seconds = train_s;
+  auto results = TimeSearch(
+      w,
+      [&](const float* q, std::vector<Neighbor>* out) {
+        (void)method.Search(q, kK, out);
+      },
+      &row.query_millis);
+  row.recall = Recall(results, w.ground_truth, kK);
+  row.map = MeanAveragePrecision(results, w.ground_truth, kK);
+  PrintRow(row);
+}
+
+void RunDataset(SyntheticKind kind, size_t n, size_t nq) {
+  const Workload w = MakeWorkload(kind, n, nq, kK, 2022);
+
+  {
+    PqOptions opts;
+    opts.num_subspaces = kSubspaces;
+    opts.bits_per_subspace = kBudget / kSubspaces;
+    ProductQuantizer pq(opts);
+    WallTimer t;
+    VAQ_CHECK(pq.Train(w.base).ok());
+    RunQuantizer(w, pq, t.ElapsedSeconds());
+  }
+  {
+    OpqOptions opts;
+    opts.num_subspaces = kSubspaces;
+    opts.bits_per_subspace = kBudget / kSubspaces;
+    opts.refine_iters = 2;
+    OptimizedProductQuantizer opq(opts);
+    WallTimer t;
+    VAQ_CHECK(opq.Train(w.base).ok());
+    RunQuantizer(w, opq, t.ElapsedSeconds());
+  }
+  {
+    BoltOptions opts;
+    opts.num_subspaces = kSubspaces;  // 4 bits each = 256-bit codes
+    BoltQuantizer bolt(opts);
+    WallTimer t;
+    VAQ_CHECK(bolt.Train(w.base).ok());
+    RunQuantizer(w, bolt, t.ElapsedSeconds());
+  }
+  {
+    PqfsOptions opts;
+    opts.num_subspaces = kSubspaces;
+    opts.bits_per_subspace = kBudget / kSubspaces;
+    PqFastScan pqfs(opts);
+    WallTimer t;
+    VAQ_CHECK(pqfs.Train(w.base).ok());
+    RunQuantizer(w, pqfs, t.ElapsedSeconds());
+  }
+  {
+    VaqOptions opts;
+    opts.num_subspaces = kSubspaces;
+    opts.total_bits = kBudget;
+    opts.ti_clusters = 500;
+    WallTimer t;
+    auto index = VaqIndex::Train(w.base, opts);
+    VAQ_CHECK(index.ok());
+    const double train_s = t.ElapsedSeconds();
+
+    SearchParams params;
+    params.k = kK;
+    params.mode = SearchMode::kTriangleInequality;
+    params.visit_fraction = 0.25;
+    ResultRow row;
+    row.dataset = w.name;
+    row.method = "VAQ";
+    row.train_seconds = train_s;
+    auto results = TimeSearch(
+        w,
+        [&](const float* q, std::vector<Neighbor>* out) {
+          (void)index->Search(q, params, out);
+        },
+        &row.query_millis);
+    row.recall = Recall(results, w.ground_truth, kK);
+    row.map = MeanAveragePrecision(results, w.ground_truth, kK);
+    PrintRow(row);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t n = FlagValue(argc, argv, "--n", 20000);
+  const size_t nq = FlagValue(argc, argv, "--queries", 50);
+  std::printf("== Figure 1: quantization trade-offs (budget %zu bits, %zu "
+              "subspaces, k=%zu) ==\n",
+              kBudget, kSubspaces, kK);
+  PrintTableHeader();
+  RunDataset(SyntheticKind::kSiftLike, n, nq);
+  RunDataset(SyntheticKind::kSaldLike, n, nq);
+  RunDataset(SyntheticKind::kDeepLike, n, nq);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 3: the variance profiles that motivate VAQ. Prints the share of
+// overall variance explained by the first 20 principal components of a
+// noisy CBF-style dataset and a smooth StarLightCurves-style dataset —
+// the skew VAQ's bit allocation exploits.
+//
+// Flags: --n=<series per dataset>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "datasets/ucr_like.h"
+#include "linalg/pca.h"
+
+using namespace vaq;
+using namespace vaq::bench;
+
+namespace {
+
+void Profile(const char* label, const FloatMatrix& data) {
+  Pca pca;
+  VAQ_CHECK(pca.Fit(data).ok());
+  const auto ratio = pca.ExplainedVarianceRatio();
+  std::printf("%s (%zu series x %zu dims)\n", label, data.rows(),
+              data.cols());
+  std::printf("  PC   :");
+  for (int i = 1; i <= 20; ++i) std::printf(" %5d", i);
+  std::printf("\n  %%var :");
+  double cumulative = 0.0;
+  for (size_t i = 0; i < 20 && i < ratio.size(); ++i) {
+    std::printf(" %5.1f", 100.0 * ratio[i]);
+    cumulative += ratio[i];
+  }
+  std::printf("\n  top-3 PCs explain %.1f%%, top-20 explain %.1f%% of the "
+              "variance\n\n",
+              100.0 * (ratio[0] + ratio[1] + ratio[2]), 100.0 * cumulative);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t n = FlagValue(argc, argv, "--n", 2000);
+  std::printf("== Figure 3: per-PC explained variance (CBF-like vs "
+              "SLC-like) ==\n\n");
+
+  // CBF: family 0 of the UCR-like archive (cylinder-bell-funnel, noisy).
+  UcrArchiveGenerator gen(2022);
+  UcrLikeDataset cbf = gen.Generate(0);  // index 0 -> CBF family
+  (void)n;
+  Profile("CBF-like (high noise)", cbf.train);
+
+  // SLC: smooth periodic light curves.
+  const FloatMatrix slc =
+      GenerateSynthetic(SyntheticKind::kAstroLike, n, 2022);
+  Profile("SLC-like (smooth light curves)", slc);
+
+  std::printf("Reading: the smooth dataset concentrates energy in far fewer "
+              "PCs, so a\nuniform per-subspace budget wastes bits — the gap "
+              "VAQ's allocator closes.\n");
+  return 0;
+}

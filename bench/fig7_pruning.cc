@@ -1,0 +1,88 @@
+// Figure 7: impact of the query-time pruning cascade. For each dataset,
+// VAQ (256 bits, 32 subspaces, 1000 TI clusters) is queried with the plain
+// Heap scan, Early Abandoning (EA), and the TI+EA cascade visiting 25% and
+// 10% of the clusters. Reports mean query time, speedup over Heap, recall,
+// and the share of codes skipped.
+//
+// Flags: --n=<base vectors> --queries=<count> --clusters=<TI clusters>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/vaq_index.h"
+#include "eval/metrics.h"
+
+using namespace vaq;
+using namespace vaq::bench;
+
+namespace {
+
+constexpr size_t kK = 100;
+
+void RunDataset(SyntheticKind kind, size_t n, size_t nq, size_t clusters) {
+  const Workload w = MakeWorkload(kind, n, nq, kK, 77);
+
+  VaqOptions opts;
+  opts.num_subspaces = 32;
+  opts.total_bits = 256;
+  opts.ti_clusters = clusters;
+  auto index = VaqIndex::Train(w.base, opts);
+  VAQ_CHECK(index.ok());
+
+  struct Variant {
+    const char* name;
+    SearchMode mode;
+    double visit;
+  };
+  const Variant variants[] = {
+      {"Heap", SearchMode::kHeap, 1.0},
+      {"EA", SearchMode::kEarlyAbandon, 1.0},
+      {"TI+EA-0.25", SearchMode::kTriangleInequality, 0.25},
+      {"TI+EA-0.1", SearchMode::kTriangleInequality, 0.10},
+  };
+
+  std::printf("%-14s %-12s %10s %10s %10s %12s\n", w.name.c_str(),
+              "strategy", "query(ms)", "speedup", "recall", "codes seen");
+  double heap_ms = 0.0;
+  for (const Variant& v : variants) {
+    SearchParams params;
+    params.k = kK;
+    params.mode = v.mode;
+    params.visit_fraction = v.visit;
+
+    size_t visited = 0;
+    std::vector<std::vector<Neighbor>> results(w.queries.rows());
+    CpuTimer timer;
+    for (size_t q = 0; q < w.queries.rows(); ++q) {
+      SearchStats stats;
+      (void)index->Search(w.queries.row(q), params, &results[q], &stats);
+      visited += stats.codes_visited;
+    }
+    const double ms =
+        timer.ElapsedMillis() / static_cast<double>(w.queries.rows());
+    if (v.mode == SearchMode::kHeap) heap_ms = ms;
+    std::printf("%-14s %-12s %10.3f %9.1fx %10.4f %12zu\n", "", v.name, ms,
+                ms > 0 ? heap_ms / ms : 0.0,
+                Recall(results, w.ground_truth, kK),
+                visited / w.queries.rows());
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t n = FlagValue(argc, argv, "--n", 20000);
+  const size_t nq = FlagValue(argc, argv, "--queries", 50);
+  const size_t clusters = FlagValue(argc, argv, "--clusters", 1000);
+  std::printf("== Figure 7: early abandoning (EA) and triangle inequality "
+              "(TI) pruning (k=%zu, %zu TI clusters) ==\n\n",
+              kK, clusters);
+  RunDataset(SyntheticKind::kSiftLike, n, nq, clusters);
+  RunDataset(SyntheticKind::kSaldLike, n, nq, clusters);
+  RunDataset(SyntheticKind::kDeepLike, n, nq, clusters);
+  RunDataset(SyntheticKind::kAstroLike, n, nq, clusters);
+  RunDataset(SyntheticKind::kSeismicLike, n, nq, clusters);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 9: ablation of VAQ's two design choices on SIFT-like data —
+// uniform vs clustered (non-uniform) subspaces crossed with uniform vs
+// adaptive bit allocation, across budgets {256, 128} and segment counts
+// {64, 32, 16}. The paper's conclusion to verify: adaptive allocation is
+// what matters; clustering alone can even hurt.
+//
+// Flags: --n=<base vectors> --queries=<count>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/vaq_index.h"
+#include "eval/metrics.h"
+
+using namespace vaq;
+using namespace vaq::bench;
+
+namespace {
+
+constexpr size_t kK = 100;
+
+double RunVariant(const Workload& w, size_t budget, size_t segments,
+                  bool clustered, bool adaptive) {
+  VaqOptions opts;
+  opts.num_subspaces = segments;
+  opts.total_bits = budget;
+  opts.clustered_subspaces = clustered;
+  opts.adaptive_allocation = adaptive;
+  opts.ti_clusters = 200;
+  auto index = VaqIndex::Train(w.base, opts);
+  VAQ_CHECK(index.ok());
+  SearchParams params;
+  params.k = kK;
+  params.mode = SearchMode::kHeap;  // isolate encoding quality from pruning
+  auto results = index->SearchBatch(w.queries, params);
+  VAQ_CHECK(results.ok());
+  return Recall(*results, w.ground_truth, kK);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t n = FlagValue(argc, argv, "--n", 20000);
+  const size_t nq = FlagValue(argc, argv, "--queries", 40);
+  std::printf("== Figure 9: uniform/clustered subspaces x uniform/adaptive "
+              "bits (SIFT-like, Recall@%zu) ==\n\n",
+              kK);
+  const Workload w = MakeWorkload(SyntheticKind::kSiftLike, n, nq, kK, 99);
+
+  std::printf("%-10s %-6s %18s %18s %18s %18s\n", "budget", "segs",
+              "unif+unif", "clust+unif", "unif+adaptive", "clust+adaptive");
+  for (size_t budget : {256, 128}) {
+    for (size_t segments : {64, 32, 16}) {
+      if (budget / segments > 13) continue;  // uniform bits out of range
+      std::printf("%-10zu %-6zu", budget, segments);
+      std::printf(" %18.4f", RunVariant(w, budget, segments, false, false));
+      std::printf(" %18.4f", RunVariant(w, budget, segments, true, false));
+      std::printf(" %18.4f", RunVariant(w, budget, segments, false, true));
+      std::printf(" %18.4f", RunVariant(w, budget, segments, true, true));
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\nExpected shape (paper): the two adaptive columns dominate "
+              "their uniform\ncounterparts; clustering without adaptive "
+              "bits often underperforms.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Scalability sweep (Section V-E's motivation for the 100M runs, scaled to
+// the session): as the collection grows, VAQ's data skipping amortizes —
+// the scanned fraction shrinks while exhaustive PQ scans grow linearly.
+// Reports per-query time and the VAQ/PQ speedup at each size.
+//
+// Flags: --queries=<count> --maxn=<largest size>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/vaq_index.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+#include "quant/pq.h"
+
+using namespace vaq;
+using namespace vaq::bench;
+
+namespace {
+constexpr size_t kK = 100;
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t nq = FlagValue(argc, argv, "--queries", 30);
+  const size_t max_n = FlagValue(argc, argv, "--maxn", 80000);
+  std::printf("== Scalability: query time vs collection size (SALD-like, "
+              "128 bits / 16 subspaces, k=%zu) ==\n\n",
+              kK);
+  std::printf("%-10s %14s %14s %10s %14s %14s\n", "n", "PQ query(ms)",
+              "VAQ query(ms)", "speedup", "PQ recall", "VAQ recall");
+
+  for (size_t n = 10000; n <= max_n; n *= 2) {
+    const FloatMatrix base =
+        GenerateSynthetic(SyntheticKind::kSaldLike, n, 777);
+    const FloatMatrix queries =
+        GenerateSyntheticQueries(SyntheticKind::kSaldLike, nq, 777, 0.05);
+    auto gt = BruteForceKnn(base, queries, kK, 0);
+    VAQ_CHECK(gt.ok());
+
+    PqOptions pq_opts;
+    pq_opts.num_subspaces = 16;
+    pq_opts.bits_per_subspace = 8;
+    ProductQuantizer pq(pq_opts);
+    VAQ_CHECK(pq.Train(base).ok());
+    std::vector<std::vector<Neighbor>> pq_results(nq);
+    CpuTimer pq_timer;
+    for (size_t q = 0; q < nq; ++q) {
+      (void)pq.Search(queries.row(q), kK, &pq_results[q]);
+    }
+    const double pq_ms = pq_timer.ElapsedMillis() / static_cast<double>(nq);
+
+    VaqOptions opts;
+    opts.num_subspaces = 16;
+    opts.total_bits = 128;
+    opts.ti_clusters = 1000;
+    opts.train_threads = 0;  // parallel training; queries stay 1-thread
+    auto index = VaqIndex::Train(base, opts);
+    VAQ_CHECK(index.ok());
+    SearchParams params;
+    params.k = kK;
+    params.mode = SearchMode::kTriangleInequality;
+    params.visit_fraction = 0.1;
+    std::vector<std::vector<Neighbor>> vaq_results(nq);
+    CpuTimer vaq_timer;
+    for (size_t q = 0; q < nq; ++q) {
+      (void)index->Search(queries.row(q), params, &vaq_results[q]);
+    }
+    const double vaq_ms = vaq_timer.ElapsedMillis() / static_cast<double>(nq);
+
+    std::printf("%-10zu %14.3f %14.3f %9.1fx %14.4f %14.4f\n", n, pq_ms,
+                vaq_ms, vaq_ms > 0 ? pq_ms / vaq_ms : 0.0,
+                Recall(pq_results, *gt, kK), Recall(vaq_results, *gt, kK));
+    std::fflush(stdout);
+  }
+  return 0;
+}

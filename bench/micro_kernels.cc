@@ -1,0 +1,136 @@
+// Google-benchmark microbenchmarks of the hot kernels behind every
+// table/figure: distance computation, lookup-table builds, ADC scans with
+// and without the pruning cascade, k-means assignment, and encoding.
+
+#include <benchmark/benchmark.h>
+
+#include "clustering/kmeans.h"
+#include "common/rng.h"
+#include "core/vaq_index.h"
+#include "datasets/synthetic.h"
+
+namespace vaq {
+namespace {
+
+FloatMatrix RandomData(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  FloatMatrix data(n, d);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data.data()[i] = static_cast<float>(rng.Gaussian());
+  }
+  return data;
+}
+
+void BM_SquaredL2(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const FloatMatrix data = RandomData(2, d, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SquaredL2(data.row(0), data.row(1), d));
+  }
+  state.SetItemsProcessed(state.iterations() * d);
+}
+BENCHMARK(BM_SquaredL2)->Arg(64)->Arg(128)->Arg(256)->Arg(1024);
+
+void BM_KMeansAssign(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const FloatMatrix data = RandomData(4096, 16, 2);
+  KMeans km;
+  KMeansOptions opts;
+  opts.k = k;
+  opts.max_iters = 5;
+  VAQ_CHECK(km.Train(data, opts).ok());
+  size_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(km.Assign(data.row(row)));
+    row = (row + 1) & 4095;
+  }
+}
+BENCHMARK(BM_KMeansAssign)->Arg(16)->Arg(256)->Arg(1024);
+
+struct ScanFixture {
+  FloatMatrix base;
+  FloatMatrix queries;
+  VaqIndex index;
+
+  static const ScanFixture& Get() {
+    static const ScanFixture* fixture = [] {
+      auto* f = new ScanFixture();
+      f->base = GenerateSynthetic(SyntheticKind::kSiftLike, 20000, 3);
+      f->queries = GenerateSyntheticQueries(SyntheticKind::kSiftLike, 64, 3);
+      VaqOptions opts;
+      opts.num_subspaces = 16;
+      opts.total_bits = 128;
+      opts.ti_clusters = 500;
+      auto index = VaqIndex::Train(f->base, opts);
+      VAQ_CHECK(index.ok());
+      f->index = std::move(*index);
+      return f;
+    }();
+    return *fixture;
+  }
+};
+
+void ScanBenchmark(benchmark::State& state, SearchMode mode, double visit) {
+  const ScanFixture& fixture = ScanFixture::Get();
+  SearchParams params;
+  params.k = 100;
+  params.mode = mode;
+  params.visit_fraction = visit;
+  std::vector<Neighbor> out;
+  size_t q = 0;
+  for (auto _ : state) {
+    VAQ_CHECK(
+        fixture.index.Search(fixture.queries.row(q), params, &out).ok());
+    benchmark::DoNotOptimize(out.data());
+    q = (q + 1) & 63;
+  }
+  state.SetItemsProcessed(state.iterations() * fixture.index.size());
+}
+
+void BM_VaqScanHeap(benchmark::State& state) {
+  ScanBenchmark(state, SearchMode::kHeap, 1.0);
+}
+void BM_VaqScanEarlyAbandon(benchmark::State& state) {
+  ScanBenchmark(state, SearchMode::kEarlyAbandon, 1.0);
+}
+void BM_VaqScanTiEa25(benchmark::State& state) {
+  ScanBenchmark(state, SearchMode::kTriangleInequality, 0.25);
+}
+void BM_VaqScanTiEa10(benchmark::State& state) {
+  ScanBenchmark(state, SearchMode::kTriangleInequality, 0.10);
+}
+BENCHMARK(BM_VaqScanHeap);
+BENCHMARK(BM_VaqScanEarlyAbandon);
+BENCHMARK(BM_VaqScanTiEa25);
+BENCHMARK(BM_VaqScanTiEa10);
+
+void BM_VaqEncodeRow(benchmark::State& state) {
+  const ScanFixture& fixture = ScanFixture::Get();
+  const auto& books = fixture.index.codebooks();
+  std::vector<float> projected;
+  fixture.index.ProjectQuery(fixture.queries.row(0), &projected);
+  std::vector<uint16_t> code(books.num_subspaces());
+  for (auto _ : state) {
+    books.EncodeRow(projected.data(), code.data());
+    benchmark::DoNotOptimize(code.data());
+  }
+}
+BENCHMARK(BM_VaqEncodeRow);
+
+void BM_BuildLookupTable(benchmark::State& state) {
+  const ScanFixture& fixture = ScanFixture::Get();
+  const auto& books = fixture.index.codebooks();
+  std::vector<float> projected;
+  fixture.index.ProjectQuery(fixture.queries.row(0), &projected);
+  std::vector<float> lut;
+  for (auto _ : state) {
+    books.BuildLookupTable(projected.data(), &lut);
+    benchmark::DoNotOptimize(lut.data());
+  }
+}
+BENCHMARK(BM_BuildLookupTable);
+
+}  // namespace
+}  // namespace vaq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Table II: average Recall@{5,10} and MAP@{5,10} of Bolt, PQ, OPQ, and
+// VAQ over the medium-scale archive at (budget 64, 16 segments) and
+// (budget 128, 32 segments). The shape to reproduce: within each budget,
+// Bolt < PQ < OPQ < VAQ, and VAQ at half budget stays competitive with the
+// others at full budget.
+//
+// Flags: --datasets=<count, default 128> --queries=<cap per dataset>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "ucr_sweep.h"
+
+using namespace vaq;
+using namespace vaq::bench;
+
+int main(int argc, char** argv) {
+  const size_t num_datasets = FlagValue(argc, argv, "--datasets", 128);
+  const size_t max_queries = FlagValue(argc, argv, "--queries", 60);
+  std::printf("== Table II: averages over %zu medium-scale datasets ==\n\n",
+              num_datasets);
+
+  const std::vector<UcrConfig> configs = {{64, 16}, {128, 32}};
+  const UcrScores scores =
+      RunUcrSweep(num_datasets, configs, max_queries, true);
+
+  std::printf("%-12s %-10s %10s %10s %10s %10s\n", "Budget, Seg", "Method",
+              "Rec@5", "Rec@10", "MAP@5", "MAP@10");
+  const char* config_labels[] = {"64, 16", "128, 32"};
+  for (size_t c = 0; c < configs.size(); ++c) {
+    for (size_t m = 0; m < 4; ++m) {
+      const size_t col = c * 4 + m;
+      double r5 = 0, r10 = 0, m5 = 0, m10 = 0;
+      for (size_t d = 0; d < num_datasets; ++d) {
+        r5 += scores.recall5(d, col);
+        r10 += scores.recall10(d, col);
+        m5 += scores.map5(d, col);
+        m10 += scores.map10(d, col);
+      }
+      const double n = static_cast<double>(num_datasets);
+      std::printf("%-12s %-10s %10.5f %10.5f %10.5f %10.5f\n",
+                  config_labels[c], scores.method_names[col].c_str(), r5 / n,
+                  r10 / n, m5 / n, m10 / n);
+    }
+  }
+
+  // Pairwise win counts (the paper's "VAQ-128 better in 92/128 vs
+  // OPQ-128" style statement).
+  auto wins = [&](size_t a, size_t b) {
+    size_t count = 0;
+    for (size_t d = 0; d < num_datasets; ++d) {
+      if (scores.recall5(d, a) > scores.recall5(d, b)) ++count;
+    }
+    return count;
+  };
+  std::printf("\nPairwise Recall@5 wins:\n");
+  std::printf("  VAQ-128 beats OPQ-128 on %zu/%zu datasets\n", wins(7, 6),
+              num_datasets);
+  std::printf("  VAQ-128 beats PQ-128  on %zu/%zu datasets\n", wins(7, 5),
+              num_datasets);
+  std::printf("  VAQ-64  beats PQ-128  on %zu/%zu datasets\n", wins(3, 5),
+              num_datasets);
+  std::printf("  VAQ-64  beats OPQ-64  on %zu/%zu datasets\n", wins(3, 2),
+              num_datasets);
+  return 0;
+}

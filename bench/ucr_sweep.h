@@ -1,0 +1,38 @@
+#ifndef VAQ_BENCH_UCR_SWEEP_H_
+#define VAQ_BENCH_UCR_SWEEP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace vaq::bench {
+
+/// One (budget, segments) configuration evaluated over the archive.
+struct UcrConfig {
+  size_t budget = 128;
+  size_t segments = 32;
+};
+
+/// Per-method, per-dataset scores over the UCR-style archive; matrices are
+/// (datasets x methods), aligned with `method_names`.
+struct UcrScores {
+  std::vector<std::string> method_names;
+  std::vector<std::string> dataset_names;
+  DoubleMatrix recall5;
+  DoubleMatrix recall10;
+  DoubleMatrix map5;
+  DoubleMatrix map10;
+};
+
+/// Runs Bolt, PQ, OPQ, and VAQ at every configuration over the first
+/// `num_datasets` archive datasets (method column order: for each config,
+/// Bolt-<budget>, PQ-<budget>, OPQ-<budget>, VAQ-<budget>). Queries are the
+/// datasets' test sets capped at `max_queries`.
+UcrScores RunUcrSweep(size_t num_datasets,
+                      const std::vector<UcrConfig>& configs,
+                      size_t max_queries = 100, bool verbose = true);
+
+}  // namespace vaq::bench
+
+#endif  // VAQ_BENCH_UCR_SWEEP_H_

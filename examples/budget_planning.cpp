@@ -1,0 +1,134 @@
+// Budget planning: uses the adaptive bit allocator directly (no index) to
+// show how VAQ splits an encoding budget across subspaces as the variance
+// profile and budget change — the Section III-C machinery in isolation.
+// Useful when sizing an index for a storage or latency target.
+//
+// Run: ./build/examples/budget_planning
+
+#include <cstdio>
+
+#include "core/allocation.h"
+#include "datasets/synthetic.h"
+#include "linalg/pca.h"
+
+namespace {
+
+void PrintAllocation(const char* label,
+                     const std::vector<double>& subspace_vars,
+                     size_t budget) {
+  vaq::AllocationOptions opts;
+  opts.total_bits = budget;
+  opts.min_bits = 1;
+  opts.max_bits = 13;
+  auto alloc = vaq::AllocateBits(subspace_vars, opts);
+  if (!alloc.ok()) {
+    std::printf("%-24s budget=%3zu  -> %s\n", label, budget,
+                alloc.status().ToString().c_str());
+    return;
+  }
+  std::printf("%-24s budget=%3zu  bits:", label, budget);
+  for (int b : alloc->bits) std::printf(" %2d", b);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace vaq;
+
+  // Synthetic variance profiles for 16 subspaces.
+  auto profile = [](double decay) {
+    std::vector<double> vars(16);
+    double v = 1.0;
+    for (auto& var : vars) {
+      var = v;
+      v *= decay;
+    }
+    return vars;
+  };
+
+  std::printf("== Hand-crafted variance profiles ==\n");
+  for (size_t budget : {32, 64, 128, 192}) {
+    PrintAllocation("uniform profile", profile(1.0), budget);
+    PrintAllocation("mild skew (0.9)", profile(0.9), budget);
+    PrintAllocation("strong skew (0.6)", profile(0.6), budget);
+    std::printf("\n");
+  }
+
+  // Real profile measured from data: run PCA on a seismic-like workload
+  // and feed the per-subspace eigenvalue energy into the allocator.
+  std::printf("== Measured profile (SEISMIC-like, 16 subspaces) ==\n");
+  const FloatMatrix data =
+      GenerateSynthetic(SyntheticKind::kSeismicLike, 5000, 3);
+  Pca pca;
+  if (!pca.Fit(data).ok()) return 1;
+  const auto ratio = pca.ExplainedVarianceRatio();
+  const size_t per = ratio.size() / 16;
+  std::vector<double> measured(16, 0.0);
+  for (size_t s = 0; s < 16; ++s) {
+    for (size_t j = 0; j < per; ++j) measured[s] += ratio[s * per + j];
+  }
+  for (size_t budget : {64, 128, 208}) {
+    PrintAllocation("seismic eigen-profile", measured, budget);
+  }
+
+  // Custom constraints: the paper's argument for the MILP formulation is
+  // that new requirements become constraint rows instead of new solvers.
+  // Example SLA: "the two leading subspaces may use at most 12 bits
+  // combined" (caps the per-query lookup-table build cost).
+  std::printf("\n== Custom constraint: leading two subspaces <= 12 bits ==\n");
+  {
+    AllocationOptions opts;
+    opts.total_bits = 96;
+    opts.min_bits = 1;
+    opts.max_bits = 13;
+    const auto vars = profile(0.7);
+    auto unconstrained = AllocateBits(vars, opts);
+    LinearConstraint sla;
+    sla.coeffs.assign(16, 0.0);
+    sla.coeffs[0] = sla.coeffs[1] = 1.0;
+    sla.relation = Relation::kLessEqual;
+    sla.rhs = 12.0;
+    opts.extra_constraints.push_back(sla);
+    auto constrained = AllocateBits(vars, opts);
+    if (unconstrained.ok() && constrained.ok()) {
+      std::printf("unconstrained   bits:");
+      for (int b : unconstrained->bits) std::printf(" %2d", b);
+      std::printf("\nwith SLA row    bits:");
+      for (int b : constrained->bits) std::printf(" %2d", b);
+      std::printf("\n");
+    }
+  }
+
+  // External weights: a supervised model says the *last* subspaces carry
+  // the class signal.
+  std::printf("\n== Weight override (supervision favors the tail) ==\n");
+  {
+    AllocationOptions opts;
+    opts.total_bits = 64;
+    opts.min_bits = 1;
+    opts.max_bits = 13;
+    opts.weight_override.assign(16, 0.02);
+    // Slightly decreasing filler weights give the solver a unique optimum
+    // (equal weights would make the leftover split arbitrary).
+    for (size_t i = 0; i < 16; ++i) {
+      opts.weight_override[i] -= 1e-4 * static_cast<double>(i);
+    }
+    opts.weight_override[14] = 0.35;
+    opts.weight_override[15] = 0.35;
+    auto alloc = AllocateBits(profile(0.8), opts);
+    if (alloc.ok()) {
+      std::printf("supervised      bits:");
+      for (int b : alloc->bits) std::printf(" %2d", b);
+      std::printf("\n");
+    }
+  }
+
+  std::printf(
+      "\nReading the rows: with skewed profiles VAQ gives leading\n"
+      "subspaces up to 13 bits (8192-entry dictionaries) and trailing\n"
+      "ones as little as 1 bit, while a PQ/OPQ layout would force the\n"
+      "same size everywhere. Constraint rows and weight overrides adapt\n"
+      "the split to workload knowledge without touching the solver.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: train a VAQ index on synthetic image descriptors and answer
+// a k-NN query, comparing against the exact answer.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/vaq_index.h"
+#include "datasets/synthetic.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace vaq;
+
+  // 1. Data: 20k SIFT-like 128-d descriptors plus 10 query vectors.
+  const FloatMatrix base =
+      GenerateSynthetic(SyntheticKind::kSiftLike, 20000, /*seed=*/1);
+  const FloatMatrix queries =
+      GenerateSyntheticQueries(SyntheticKind::kSiftLike, 10, /*seed=*/1);
+  std::printf("database: %zu vectors x %zu dims\n", base.rows(), base.cols());
+
+  // 2. Train: 128-bit budget over 16 subspaces, adaptive dictionary sizes.
+  VaqOptions options;
+  options.num_subspaces = 16;
+  options.total_bits = 128;
+  options.min_bits = 1;
+  options.max_bits = 13;
+  options.ti_clusters = 200;
+  auto index = VaqIndex::Train(base, options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("bits per subspace:");
+  for (int b : index->bits_per_subspace()) std::printf(" %d", b);
+  std::printf("\ncode storage: %.1f KiB\n", index->code_bytes() / 1024.0);
+
+  // 3. Search: top-10 with the triangle-inequality + early-abandon cascade
+  //    visiting 25%% of the partitions.
+  SearchParams params;
+  params.k = 10;
+  params.mode = SearchMode::kTriangleInequality;
+  params.visit_fraction = 0.25;
+
+  SearchStats stats;
+  std::vector<Neighbor> result;
+  Status st = index->Search(queries.row(0), params, &result, &stats);
+  if (!st.ok()) {
+    std::fprintf(stderr, "search failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("\ntop-10 for query 0 (visited %zu/%zu codes):\n",
+              stats.codes_visited, index->size());
+  for (const Neighbor& nb : result) {
+    std::printf("  id=%6lld  est. distance=%.4f\n",
+                static_cast<long long>(nb.id), nb.distance);
+  }
+
+  // 4. Quality check against the exact answer.
+  auto exact = BruteForceKnn(base, queries, 10);
+  auto approx = index->SearchBatch(queries, params);
+  if (exact.ok() && approx.ok()) {
+    std::printf("\nRecall@10 over %zu queries: %.3f\n", queries.rows(),
+                Recall(*approx, *exact, 10));
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+#include "clustering/hierarchical.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "clustering/kmeans.h"
+#include "common/rng.h"
+
+namespace vaq {
+
+Result<FloatMatrix> HierarchicalKMeans(const FloatMatrix& data,
+                                       const HierarchicalKMeansOptions& opts) {
+  if (opts.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (data.rows() == 0) {
+    return Status::InvalidArgument("hierarchical k-means requires data");
+  }
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+
+  const size_t coarse_k = std::min(opts.coarse_k, std::min(opts.k, n));
+
+  KMeans coarse;
+  KMeansOptions coarse_opts;
+  coarse_opts.k = coarse_k;
+  coarse_opts.max_iters = opts.max_iters;
+  coarse_opts.seed = opts.seed;
+  VAQ_RETURN_IF_ERROR(coarse.Train(data, coarse_opts));
+
+  const std::vector<uint32_t> assign = coarse.AssignAll(data);
+  std::vector<std::vector<size_t>> members(coarse_k);
+  for (size_t i = 0; i < n; ++i) members[assign[i]].push_back(i);
+
+  // Distribute the fine budget proportionally to cluster populations;
+  // every non-empty cluster gets at least one centroid and no cluster gets
+  // more centroids than members.
+  std::vector<size_t> budget(coarse_k, 0);
+  size_t assigned = 0;
+  for (size_t c = 0; c < coarse_k; ++c) {
+    if (members[c].empty()) continue;
+    const double share = static_cast<double>(members[c].size()) /
+                         static_cast<double>(n) *
+                         static_cast<double>(opts.k);
+    budget[c] = std::max<size_t>(
+        1, std::min(members[c].size(), static_cast<size_t>(share)));
+    assigned += budget[c];
+  }
+  // Round-robin adjust to hit exactly opts.k, respecting member counts.
+  while (assigned < opts.k) {
+    bool progress = false;
+    for (size_t c = 0; c < coarse_k && assigned < opts.k; ++c) {
+      if (!members[c].empty() && budget[c] < members[c].size()) {
+        ++budget[c];
+        ++assigned;
+        progress = true;
+      }
+    }
+    if (!progress) break;  // fewer distinct points than requested centroids
+  }
+  while (assigned > opts.k) {
+    for (size_t c = 0; c < coarse_k && assigned > opts.k; ++c) {
+      if (budget[c] > 1) {
+        --budget[c];
+        --assigned;
+      }
+    }
+  }
+
+  FloatMatrix centroids(opts.k, d, 0.f);
+  size_t out_row = 0;
+  for (size_t c = 0; c < coarse_k; ++c) {
+    if (budget[c] == 0) continue;
+    const FloatMatrix sub = data.GatherRows(members[c]);
+    KMeans fine;
+    KMeansOptions fine_opts;
+    fine_opts.k = budget[c];
+    fine_opts.max_iters = opts.max_iters;
+    fine_opts.seed = opts.seed + 0x9E37 + c;
+    VAQ_RETURN_IF_ERROR(fine.Train(sub, fine_opts));
+    for (size_t j = 0; j < budget[c]; ++j) {
+      std::memcpy(centroids.row(out_row++), fine.centroids().row(j),
+                  d * sizeof(float));
+    }
+  }
+  // If the data had fewer distinct points than opts.k, fill the remainder
+  // with duplicated samples so callers always get exactly k rows.
+  Rng rng(opts.seed ^ 0xC0FFEE);
+  while (out_row < opts.k) {
+    const size_t pick = static_cast<size_t>(rng.NextIndex(n));
+    std::memcpy(centroids.row(out_row++), data.row(pick), d * sizeof(float));
+  }
+  return centroids;
+}
+
+}  // namespace vaq

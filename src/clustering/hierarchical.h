@@ -1,0 +1,33 @@
+#ifndef VAQ_CLUSTERING_HIERARCHICAL_H_
+#define VAQ_CLUSTERING_HIERARCHICAL_H_
+
+#include <cstdint>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace vaq {
+
+struct HierarchicalKMeansOptions {
+  /// Total number of centroids to produce.
+  size_t k = 4096;
+  /// First-level fanout (the paper uses 2^6 = 64 coarse clusters before
+  /// splitting each again).
+  size_t coarse_k = 64;
+  int max_iters = 20;
+  uint64_t seed = 42;
+};
+
+/// Two-level (hierarchical) k-means for large dictionaries.
+///
+/// Section III-D: "for subspaces with assigned large dictionaries (> 2^10),
+/// we employ k-means in a hierarchical fashion... run k-means with a small
+/// k = 2^6 and split each cluster again to reach the desired size". The
+/// second-level budget is distributed proportionally to coarse cluster
+/// populations so that exactly `k` centroids come back.
+Result<FloatMatrix> HierarchicalKMeans(const FloatMatrix& data,
+                                       const HierarchicalKMeansOptions& opts);
+
+}  // namespace vaq
+
+#endif  // VAQ_CLUSTERING_HIERARCHICAL_H_

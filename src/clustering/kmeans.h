@@ -1,0 +1,76 @@
+#ifndef VAQ_CLUSTERING_KMEANS_H_
+#define VAQ_CLUSTERING_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace vaq {
+
+struct KMeansOptions {
+  size_t k = 8;
+  int max_iters = 25;
+  uint64_t seed = 42;
+  /// Relative inertia improvement below which training stops early.
+  double tol = 1e-4;
+  /// k-means++ seeding when true; uniform random sampling otherwise.
+  bool kmeanspp = true;
+};
+
+/// Lloyd's k-means with k-means++ seeding and empty-cluster repair.
+///
+/// This is the dictionary learner shared by every quantizer in the library
+/// (PQ/OPQ/Bolt sub-dictionaries, VAQ's variable-size dictionaries, IMI's
+/// coarse quantizers). Deterministic given the seed.
+class KMeans {
+ public:
+  KMeans() = default;
+
+  /// Trains on `data` (n x d). Requires k >= 1 and n >= 1. When n < k the
+  /// centroid set is padded with duplicated points so that exactly k
+  /// centroids always exist (encoded ids then simply never reference the
+  /// padded entries).
+  Status Train(const FloatMatrix& data, const KMeansOptions& options);
+
+  bool trained() const { return trained_; }
+  size_t k() const { return centroids_.rows(); }
+  size_t dim() const { return centroids_.cols(); }
+
+  /// Cluster centers, one per row.
+  const FloatMatrix& centroids() const { return centroids_; }
+  FloatMatrix* mutable_centroids() { return &centroids_; }
+
+  /// Restores a trained state from serialized centroids (index Load
+  /// paths). Requires a non-empty matrix.
+  Status Restore(FloatMatrix centroids) {
+    if (centroids.rows() == 0 || centroids.cols() == 0) {
+      return Status::InvalidArgument("empty centroid matrix");
+    }
+    centroids_ = std::move(centroids);
+    trained_ = true;
+    inertia_ = 0.0;
+    return Status::OK();
+  }
+
+  /// Final sum of squared distances of training points to their centroids.
+  double inertia() const { return inertia_; }
+
+  /// Index of the nearest centroid to `x` (length dim()).
+  uint32_t Assign(const float* x) const;
+
+  /// Nearest centroid for every row of `data`.
+  std::vector<uint32_t> AssignAll(const FloatMatrix& data) const;
+
+ private:
+  void SeedCentroids(const FloatMatrix& data, const KMeansOptions& options);
+
+  bool trained_ = false;
+  FloatMatrix centroids_;
+  double inertia_ = 0.0;
+};
+
+}  // namespace vaq
+
+#endif  // VAQ_CLUSTERING_KMEANS_H_

@@ -1,0 +1,100 @@
+#include "clustering/kmeans1d.h"
+
+#include <limits>
+
+namespace vaq {
+namespace {
+
+/// SSE of the block [i, j] (inclusive) computed from prefix sums in O(1).
+class BlockCost {
+ public:
+  explicit BlockCost(const std::vector<double>& values)
+      : prefix_(values.size() + 1, 0.0), prefix_sq_(values.size() + 1, 0.0) {
+    for (size_t i = 0; i < values.size(); ++i) {
+      prefix_[i + 1] = prefix_[i] + values[i];
+      prefix_sq_[i + 1] = prefix_sq_[i] + values[i] * values[i];
+    }
+  }
+
+  double operator()(size_t i, size_t j) const {
+    const double n = static_cast<double>(j - i + 1);
+    const double sum = prefix_[j + 1] - prefix_[i];
+    const double sum_sq = prefix_sq_[j + 1] - prefix_sq_[i];
+    const double sse = sum_sq - (sum * sum) / n;
+    return sse > 0.0 ? sse : 0.0;  // clamp rounding noise
+  }
+
+ private:
+  std::vector<double> prefix_;
+  std::vector<double> prefix_sq_;
+};
+
+/// Fills dp_cur[lo..hi] where dp_cur[j] = min over split points s of
+/// dp_prev[s-1] + cost(s, j), knowing the optimal split is monotone in j.
+void Solve(const BlockCost& cost, const std::vector<double>& dp_prev,
+           std::vector<double>* dp_cur, std::vector<size_t>* arg_cur,
+           size_t lo, size_t hi, size_t opt_lo, size_t opt_hi) {
+  if (lo > hi) return;
+  const size_t mid = lo + (hi - lo) / 2;
+  double best = std::numeric_limits<double>::max();
+  size_t best_s = opt_lo;
+  const size_t s_hi = std::min(mid, opt_hi);
+  for (size_t s = opt_lo; s <= s_hi; ++s) {
+    // Block is [s, mid]; dp_prev[s-1] covers [0, s-1]. s >= 1 always holds
+    // because layer r requires at least r values before the block.
+    const double candidate = dp_prev[s - 1] + cost(s, mid);
+    if (candidate < best) {
+      best = candidate;
+      best_s = s;
+    }
+  }
+  (*dp_cur)[mid] = best;
+  (*arg_cur)[mid] = best_s;
+  if (mid > lo) Solve(cost, dp_prev, dp_cur, arg_cur, lo, mid - 1, opt_lo,
+                      best_s);
+  if (mid < hi) Solve(cost, dp_prev, dp_cur, arg_cur, mid + 1, hi, best_s,
+                      opt_hi);
+}
+
+}  // namespace
+
+Result<std::vector<size_t>> SegmentSorted1D(const std::vector<double>& values,
+                                            size_t k) {
+  const size_t n = values.size();
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (k > n) {
+    return Status::InvalidArgument("cannot split " + std::to_string(n) +
+                                   " values into " + std::to_string(k) +
+                                   " non-empty clusters");
+  }
+  const BlockCost cost(values);
+
+  if (k == 1) return std::vector<size_t>{n};
+
+  // dp[r][j]: best cost of covering values [0..j] with r+1 blocks.
+  std::vector<double> dp_prev(n);
+  std::vector<std::vector<size_t>> arg(k, std::vector<size_t>(n, 0));
+  for (size_t j = 0; j < n; ++j) dp_prev[j] = cost(0, j);
+
+  std::vector<double> dp_cur(n, std::numeric_limits<double>::max());
+  for (size_t r = 1; r < k; ++r) {
+    std::fill(dp_cur.begin(), dp_cur.end(),
+              std::numeric_limits<double>::max());
+    // Layer r needs at least r values before the last block starts.
+    Solve(cost, dp_prev, &dp_cur, &arg[r], r, n - 1, r, n - 1);
+    dp_prev = dp_cur;
+  }
+
+  // Backtrack block boundaries.
+  std::vector<size_t> sizes(k, 0);
+  size_t end = n - 1;
+  for (size_t r = k; r-- > 1;) {
+    const size_t start = arg[r][end];
+    sizes[r] = end - start + 1;
+    end = start - 1;
+  }
+  sizes[0] = end + 1;
+  return sizes;
+}
+
+}  // namespace vaq

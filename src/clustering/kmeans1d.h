@@ -1,0 +1,31 @@
+#ifndef VAQ_CLUSTERING_KMEANS1D_H_
+#define VAQ_CLUSTERING_KMEANS1D_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vaq {
+
+/// Optimal 1-D k-means by dynamic programming.
+///
+/// For values sorted in non-increasing order, optimal 1-D k-means clusters
+/// are contiguous ranges, so the problem reduces to segmenting the sorted
+/// sequence into `k` blocks minimizing within-block SSE. The DP uses the
+/// divide-and-conquer optimization (the cost matrix satisfies the
+/// quadrangle inequality), giving O(k n log n).
+///
+/// This is exactly the "clustering of dimensions" step of Section III-B:
+/// VAQ quantizes the single d-dimensional vector of per-dimension variances
+/// into `m` groups to form non-uniform subspaces.
+///
+/// Returns the block boundaries as sizes: `sizes[i]` is the number of
+/// consecutive sorted values in cluster i; sizes sum to values.size() and
+/// every size is >= 1. Requires 1 <= k <= values.size().
+Result<std::vector<size_t>> SegmentSorted1D(const std::vector<double>& values,
+                                            size_t k);
+
+}  // namespace vaq
+
+#endif  // VAQ_CLUSTERING_KMEANS1D_H_

@@ -1,0 +1,22 @@
+#include "common/io.h"
+
+#include <cstring>
+
+namespace vaq {
+
+void WriteMagic(std::ostream& os, const char magic[8]) {
+  os.write(magic, 8);
+}
+
+Status CheckMagic(std::istream& is, const char magic[8]) {
+  char buf[8] = {};
+  is.read(buf, 8);
+  if (!is) return Status::IoError("short read on magic tag");
+  if (std::memcmp(buf, magic, 8) != 0) {
+    return Status::IoError("magic tag mismatch: file is not in the expected "
+                           "format");
+  }
+  return Status::OK();
+}
+
+}  // namespace vaq

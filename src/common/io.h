@@ -1,0 +1,135 @@
+#ifndef VAQ_COMMON_IO_H_
+#define VAQ_COMMON_IO_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace vaq {
+
+/// Binary (de)serialization helpers used by index Save/Load. The format is
+/// little-endian host order with explicit sizes; files start with a caller
+/// supplied magic tag for sanity checking.
+
+template <typename T>
+void WritePod(std::ostream& os, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+Status ReadPod(std::istream& is, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  is.read(reinterpret_cast<char*>(value), sizeof(T));
+  if (!is) return Status::IoError("short read on POD value");
+  return Status::OK();
+}
+
+template <typename T>
+void WriteVector(std::ostream& os, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  WritePod<uint64_t>(os, v.size());
+  if (!v.empty()) {
+    os.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(T)));
+  }
+}
+
+/// Bytes left between the stream's current position and its end, or -1
+/// when the stream is not seekable. Guards deserialization against
+/// corrupted size headers that would otherwise trigger huge allocations.
+inline int64_t RemainingBytes(std::istream& is) {
+  const auto here = is.tellg();
+  if (here == std::istream::pos_type(-1)) return -1;
+  is.seekg(0, std::ios::end);
+  const auto end = is.tellg();
+  is.seekg(here);
+  if (end == std::istream::pos_type(-1)) return -1;
+  return static_cast<int64_t>(end - here);
+}
+
+template <typename T>
+Status ReadVector(std::istream& is, std::vector<T>* v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  uint64_t n = 0;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &n));
+  const int64_t remaining = RemainingBytes(is);
+  if (remaining >= 0 &&
+      n > static_cast<uint64_t>(remaining) / sizeof(T)) {
+    return Status::IoError("vector size header exceeds remaining payload "
+                           "(corrupted file?)");
+  }
+  v->resize(n);
+  if (n > 0) {
+    is.read(reinterpret_cast<char*>(v->data()),
+            static_cast<std::streamsize>(n * sizeof(T)));
+    if (!is) return Status::IoError("short read on vector payload");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+void WriteMatrix(std::ostream& os, const Matrix<T>& m) {
+  WritePod<uint64_t>(os, m.rows());
+  WritePod<uint64_t>(os, m.cols());
+  if (m.size() > 0) {
+    os.write(reinterpret_cast<const char*>(m.data()),
+             static_cast<std::streamsize>(m.size() * sizeof(T)));
+  }
+}
+
+template <typename T>
+Status ReadMatrix(std::istream& is, Matrix<T>* m) {
+  uint64_t rows = 0, cols = 0;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &rows));
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &cols));
+  const int64_t remaining = RemainingBytes(is);
+  if (remaining >= 0 &&
+      (cols != 0 &&
+       rows > static_cast<uint64_t>(remaining) / sizeof(T) / cols)) {
+    return Status::IoError("matrix size header exceeds remaining payload "
+                           "(corrupted file?)");
+  }
+  m->Resize(rows, cols);
+  if (m->size() > 0) {
+    is.read(reinterpret_cast<char*>(m->data()),
+            static_cast<std::streamsize>(m->size() * sizeof(T)));
+    if (!is) return Status::IoError("short read on matrix payload");
+  }
+  return Status::OK();
+}
+
+inline void WriteString(std::ostream& os, const std::string& s) {
+  WritePod<uint64_t>(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+inline Status ReadString(std::istream& is, std::string* s) {
+  uint64_t n = 0;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &n));
+  const int64_t remaining = RemainingBytes(is);
+  if (remaining >= 0 && n > static_cast<uint64_t>(remaining)) {
+    return Status::IoError("string size header exceeds remaining payload "
+                           "(corrupted file?)");
+  }
+  s->resize(n);
+  if (n > 0) {
+    is.read(s->data(), static_cast<std::streamsize>(n));
+    if (!is) return Status::IoError("short read on string payload");
+  }
+  return Status::OK();
+}
+
+/// Writes/validates a 8-byte magic tag that identifies a file format.
+void WriteMagic(std::ostream& os, const char magic[8]);
+Status CheckMagic(std::istream& is, const char magic[8]);
+
+}  // namespace vaq
+
+#endif  // VAQ_COMMON_IO_H_

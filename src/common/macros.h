@@ -1,0 +1,44 @@
+#ifndef VAQ_COMMON_MACROS_H_
+#define VAQ_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Fatal check for invariants that indicate programmer error. Active in all
+/// build modes; failure aborts with the failing condition and location.
+#define VAQ_CHECK(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "VAQ_CHECK failed: %s at %s:%d\n", #cond,         \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifndef NDEBUG
+#define VAQ_DCHECK(cond) VAQ_CHECK(cond)
+#else
+#define VAQ_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#endif
+
+/// Propagates a non-OK Status to the caller.
+#define VAQ_RETURN_IF_ERROR(expr)          \
+  do {                                     \
+    ::vaq::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+#define VAQ_CONCAT_IMPL(a, b) a##b
+#define VAQ_CONCAT(a, b) VAQ_CONCAT_IMPL(a, b)
+
+/// Evaluates an expression returning Result<T>; on error propagates the
+/// Status, otherwise moves the value into `lhs`.
+#define VAQ_ASSIGN_OR_RETURN(lhs, expr)                                \
+  auto VAQ_CONCAT(_result_, __LINE__) = (expr);                        \
+  if (!VAQ_CONCAT(_result_, __LINE__).ok())                            \
+    return VAQ_CONCAT(_result_, __LINE__).status();                    \
+  lhs = std::move(VAQ_CONCAT(_result_, __LINE__)).value()
+
+#endif  // VAQ_COMMON_MACROS_H_

@@ -1,0 +1,152 @@
+#ifndef VAQ_COMMON_MATRIX_H_
+#define VAQ_COMMON_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace vaq {
+
+/// Dense row-major matrix. The single in-memory representation for vector
+/// datasets, codebooks, rotation matrices, and lookup tables.
+///
+/// Rows are data samples, columns are dimensions. Storage is contiguous so
+/// that a row can be handed to distance kernels as a raw pointer.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(size_t rows, size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from an existing flat row-major buffer (copies).
+  Matrix(size_t rows, size_t cols, std::vector<T> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    VAQ_CHECK(data_.size() == rows_ * cols_);
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T* row(size_t r) {
+    VAQ_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const T* row(size_t r) const {
+    VAQ_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  T& at(size_t r, size_t c) {
+    VAQ_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& at(size_t r, size_t c) const {
+    VAQ_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  T& operator()(size_t r, size_t c) { return at(r, c); }
+  const T& operator()(size_t r, size_t c) const { return at(r, c); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  /// Resizes destructively (contents are unspecified afterwards).
+  void Resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, T{});
+  }
+
+  /// Copies a contiguous column slice [col_begin, col_begin + width) of
+  /// every row into a new matrix. Used to extract subspace views.
+  Matrix<T> SliceColumns(size_t col_begin, size_t width) const {
+    VAQ_CHECK(col_begin + width <= cols_);
+    Matrix<T> out(rows_, width);
+    for (size_t r = 0; r < rows_; ++r) {
+      std::memcpy(out.row(r), row(r) + col_begin, width * sizeof(T));
+    }
+    return out;
+  }
+
+  /// Copies the given rows into a new matrix (gather).
+  Matrix<T> GatherRows(const std::vector<size_t>& indices) const {
+    Matrix<T> out(indices.size(), cols_);
+    for (size_t i = 0; i < indices.size(); ++i) {
+      VAQ_DCHECK(indices[i] < rows_);
+      std::memcpy(out.row(i), row(indices[i]), cols_ * sizeof(T));
+    }
+    return out;
+  }
+
+  /// Reorders columns: out(r, j) = in(r, perm[j]). `perm` must be a
+  /// permutation of [0, cols).
+  Matrix<T> PermuteColumns(const std::vector<size_t>& perm) const {
+    VAQ_CHECK(perm.size() == cols_);
+    Matrix<T> out(rows_, cols_);
+    for (size_t r = 0; r < rows_; ++r) {
+      const T* src = row(r);
+      T* dst = out.row(r);
+      for (size_t j = 0; j < cols_; ++j) dst[j] = src[perm[j]];
+    }
+    return out;
+  }
+
+  bool operator==(const Matrix<T>& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using FloatMatrix = Matrix<float>;
+using DoubleMatrix = Matrix<double>;
+
+/// Encoded dataset: one row per vector, one uint16 dictionary index per
+/// subspace. uint16 supports dictionaries up to 2^16 entries, which covers
+/// the paper's 1..13 bit range with headroom.
+using CodeMatrix = Matrix<uint16_t>;
+
+/// Squared Euclidean distance between two length-`d` vectors.
+inline float SquaredL2(const float* a, const float* b, size_t d) {
+  float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
+  size_t i = 0;
+  for (; i + 4 <= d; i += 4) {
+    const float d0 = a[i] - b[i];
+    const float d1 = a[i + 1] - b[i + 1];
+    const float d2 = a[i + 2] - b[i + 2];
+    const float d3 = a[i + 3] - b[i + 3];
+    acc0 += d0 * d0;
+    acc1 += d1 * d1;
+    acc2 += d2 * d2;
+    acc3 += d3 * d3;
+  }
+  float acc = acc0 + acc1 + acc2 + acc3;
+  for (; i < d; ++i) {
+    const float diff = a[i] - b[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+/// Squared L2 norm of a length-`d` vector.
+inline float SquaredNorm(const float* a, size_t d) {
+  float acc = 0.f;
+  for (size_t i = 0; i < d; ++i) acc += a[i] * a[i];
+  return acc;
+}
+
+}  // namespace vaq
+
+#endif  // VAQ_COMMON_MATRIX_H_

@@ -1,0 +1,53 @@
+#ifndef VAQ_COMMON_TIMER_H_
+#define VAQ_COMMON_TIMER_H_
+
+#include <chrono>
+#include <ctime>
+
+namespace vaq {
+
+/// Monotonic wall-clock timer with microsecond resolution.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Per-process CPU-time timer; matches the paper's "CPU time utilization"
+/// reporting for query runtimes.
+class CpuTimer {
+ public:
+  CpuTimer() { Restart(); }
+
+  void Restart() { start_ = Now(); }
+
+  double ElapsedSeconds() const { return Now() - start_; }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  static double Now() {
+    timespec ts{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+
+  double start_ = 0.0;
+};
+
+}  // namespace vaq
+
+#endif  // VAQ_COMMON_TIMER_H_

@@ -1,0 +1,77 @@
+#ifndef VAQ_COMMON_TOPK_H_
+#define VAQ_COMMON_TOPK_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace vaq {
+
+/// A (distance, id) pair returned by search routines. Sorted ascending by
+/// distance; ties broken by id for deterministic output.
+struct Neighbor {
+  float distance = 0.f;
+  int64_t id = -1;
+
+  friend bool operator<(const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  }
+  friend bool operator==(const Neighbor& a, const Neighbor& b) {
+    return a.distance == b.distance && a.id == b.id;
+  }
+};
+
+/// Bounded max-heap that keeps the k smallest (distance, id) pairs seen.
+///
+/// This is the best-so-far structure of Algorithm 4: `Threshold()` is the
+/// k-th nearest distance once the heap is full and feeds both the triangle
+/// inequality and early abandoning filters.
+class TopKHeap {
+ public:
+  explicit TopKHeap(size_t k) : k_(k) { VAQ_CHECK(k > 0); }
+
+  size_t k() const { return k_; }
+  size_t size() const { return heap_.size(); }
+  bool full() const { return heap_.size() == k_; }
+
+  /// Current pruning threshold: the largest kept distance when full,
+  /// +infinity otherwise.
+  float Threshold() const {
+    if (!full()) return kInf;
+    return heap_.front().distance;
+  }
+
+  /// Inserts if the candidate improves the top-k. Returns true if kept.
+  bool Push(float distance, int64_t id) {
+    if (heap_.size() < k_) {
+      heap_.push_back({distance, id});
+      std::push_heap(heap_.begin(), heap_.end());
+      return true;
+    }
+    if (distance >= heap_.front().distance) return false;
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.back() = {distance, id};
+    std::push_heap(heap_.begin(), heap_.end());
+    return true;
+  }
+
+  /// Extracts results sorted ascending by distance. The heap is consumed.
+  std::vector<Neighbor> TakeSorted() {
+    std::sort_heap(heap_.begin(), heap_.end());
+    return std::move(heap_);
+  }
+
+ private:
+  static constexpr float kInf = 3.402823466e+38f;
+
+  size_t k_;
+  std::vector<Neighbor> heap_;
+};
+
+}  // namespace vaq
+
+#endif  // VAQ_COMMON_TOPK_H_

@@ -1,0 +1,251 @@
+#include "core/allocation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/macros.h"
+#include "solver/milp.h"
+
+namespace vaq {
+namespace {
+
+Status ValidateInputs(const std::vector<double>& vars,
+                      const AllocationOptions& opt) {
+  const size_t m = vars.size();
+  if (m == 0) return Status::InvalidArgument("no subspaces");
+  if (opt.min_bits > opt.max_bits) {
+    return Status::InvalidArgument("min_bits > max_bits");
+  }
+  if (opt.total_bits < m * opt.min_bits) {
+    return Status::InvalidArgument(
+        "budget too small: " + std::to_string(opt.total_bits) + " bits < " +
+        std::to_string(m) + " subspaces * " + std::to_string(opt.min_bits) +
+        " min bits");
+  }
+  if (opt.total_bits > m * opt.max_bits) {
+    return Status::InvalidArgument(
+        "budget too large: " + std::to_string(opt.total_bits) + " bits > " +
+        std::to_string(m) + " subspaces * " + std::to_string(opt.max_bits) +
+        " max bits");
+  }
+  for (size_t i = 0; i < m; ++i) {
+    if (vars[i] < 0.0) {
+      return Status::InvalidArgument("negative subspace variance");
+    }
+    if (i > 0 && vars[i] > vars[i - 1] + 1e-9) {
+      return Status::InvalidArgument(
+          "subspace variances must be non-increasing (importance order)");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> Normalize(const std::vector<double>& vars) {
+  double total = std::accumulate(vars.begin(), vars.end(), 0.0);
+  std::vector<double> w(vars.size());
+  if (total <= 0.0) {
+    // Degenerate data: uniform importance.
+    std::fill(w.begin(), w.end(), 1.0 / static_cast<double>(vars.size()));
+  } else {
+    for (size_t i = 0; i < vars.size(); ++i) w[i] = vars[i] / total;
+  }
+  return w;
+}
+
+/// Number of leading subspaces needed to cover `target` of the variance.
+size_t CoveragePrefix(const std::vector<double>& w, double target) {
+  double acc = 0.0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    acc += w[i];
+    if (acc >= target - 1e-12) return i + 1;
+  }
+  return w.size();
+}
+
+}  // namespace
+
+Result<Allocation> AllocateBitsProportional(
+    const std::vector<double>& subspace_variances,
+    const AllocationOptions& options) {
+  VAQ_RETURN_IF_ERROR(ValidateInputs(subspace_variances, options));
+  const size_t m = subspace_variances.size();
+  const std::vector<double> w = Normalize(subspace_variances);
+
+  // Classic transform-coding rate allocation (reverse water-filling): the
+  // distortion of a k-item dictionary on a subspace with variance V decays
+  // like V / poly(k), so the distortion-optimal bit split is
+  //   y_i = theta + (1/2) log2(V_i),
+  // clamped to [min_bits, max_bits], with the water level theta chosen so
+  // the budget is met exactly. This realizes C4's "proportional to the
+  // contribution of each subspace": bits track log-variance, which both
+  // follows the skew and avoids starving the tail.
+  std::vector<double> half_log(m);
+  double min_positive = 1.0;
+  for (size_t i = 0; i < m; ++i) {
+    if (w[i] > 0.0) min_positive = std::min(min_positive, w[i]);
+  }
+  for (size_t i = 0; i < m; ++i) {
+    const double v = w[i] > 0.0 ? w[i] : min_positive * 1e-3;
+    half_log[i] = 0.5 * std::log2(v);
+  }
+  auto filled = [&](double theta) {
+    double total = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      total += std::clamp(theta + half_log[i],
+                          static_cast<double>(options.min_bits),
+                          static_cast<double>(options.max_bits));
+    }
+    return total;
+  };
+  const double budget = static_cast<double>(options.total_bits);
+  double lo = static_cast<double>(options.min_bits) - half_log[0];
+  double hi = static_cast<double>(options.max_bits) - half_log[m - 1];
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (filled(mid) < budget) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  std::vector<double> ideal(m);
+  for (size_t i = 0; i < m; ++i) {
+    ideal[i] = std::clamp(hi + half_log[i],
+                          static_cast<double>(options.min_bits),
+                          static_cast<double>(options.max_bits));
+  }
+
+  // Largest-remainder rounding to hit the exact budget.
+  std::vector<int> bits(m);
+  std::vector<std::pair<double, size_t>> fractions;
+  long long assigned = 0;
+  for (size_t i = 0; i < m; ++i) {
+    bits[i] = static_cast<int>(std::floor(ideal[i] + 1e-9));
+    bits[i] = std::clamp(bits[i], static_cast<int>(options.min_bits),
+                         static_cast<int>(options.max_bits));
+    assigned += bits[i];
+    fractions.push_back({ideal[i] - std::floor(ideal[i] + 1e-9), i});
+  }
+  std::sort(fractions.rbegin(), fractions.rend());
+  long long leftover = static_cast<long long>(options.total_bits) - assigned;
+  for (size_t pass = 0; leftover > 0 && pass < 2 * m; ++pass) {
+    const size_t i = fractions[pass % m].second;
+    if (bits[i] < static_cast<int>(options.max_bits)) {
+      ++bits[i];
+      --leftover;
+    }
+  }
+  for (size_t pass = 0; leftover < 0 && pass < 2 * m; ++pass) {
+    const size_t i = fractions[m - 1 - (pass % m)].second;
+    if (bits[i] > static_cast<int>(options.min_bits)) {
+      --bits[i];
+      ++leftover;
+    }
+  }
+  // Monotone repair: sorting descending preserves the multiset (and thus
+  // the budget and bounds) and matches the importance ordering.
+  std::sort(bits.rbegin(), bits.rend());
+
+  Allocation out;
+  out.bits = std::move(bits);
+  out.milp_solved = false;
+  out.objective = 0.0;
+  for (size_t i = 0; i < m; ++i) out.objective += w[i] * out.bits[i];
+  return out;
+}
+
+Result<Allocation> AllocateBits(const std::vector<double>& subspace_variances,
+                                const AllocationOptions& options) {
+  VAQ_RETURN_IF_ERROR(ValidateInputs(subspace_variances, options));
+  const size_t m = subspace_variances.size();
+  const std::vector<double> w = Normalize(subspace_variances);
+
+  const bool has_override = !options.weight_override.empty();
+  if (has_override && options.weight_override.size() != m) {
+    return Status::InvalidArgument(
+        "weight_override must match the subspace count");
+  }
+
+  MixedIntegerProgram mip;
+  mip.lp.objective = has_override ? options.weight_override : w;
+  mip.lp.lower.assign(m, static_cast<double>(options.min_bits));
+  mip.lp.upper.assign(m, static_cast<double>(options.max_bits));
+  // The proportional caps pin the allocation to the reference point, so
+  // they are only applied when the caller has not customized the problem
+  // (custom rows or weights need the full feasible region to matter).
+  const bool pin_proportional = options.proportional && !has_override &&
+                                options.extra_constraints.empty();
+  if (pin_proportional) {
+    // C4: cap every allocation at its proportional share (water-filled
+    // largest-remainder rounding of the fractional ideal). Together with
+    // the exact-budget row this pins the allocation to the proportional
+    // point; callers with different semantics (query-aware weights,
+    // storage SLAs) swap these rows for their own.
+    VAQ_ASSIGN_OR_RETURN(
+        Allocation reference,
+        AllocateBitsProportional(subspace_variances, options));
+    for (size_t i = 0; i < m; ++i) {
+      mip.lp.upper[i] = static_cast<double>(reference.bits[i]);
+    }
+  }
+  mip.integral.assign(m, true);
+
+  // C1: the minimal prefix covering target_variance gets at least one bit.
+  const size_t prefix = CoveragePrefix(w, options.target_variance);
+  for (size_t i = 0; i < prefix; ++i) {
+    mip.lp.lower[i] = std::max(mip.lp.lower[i], 1.0);
+  }
+
+  // C3: exact budget.
+  LinearConstraint budget_row;
+  budget_row.coeffs.assign(m, 1.0);
+  budget_row.relation = Relation::kEqual;
+  budget_row.rhs = static_cast<double>(options.total_bits);
+  mip.lp.constraints.push_back(std::move(budget_row));
+
+  // C4 (monotone part): y_i - y_{i+1} >= 0 follows the importance order.
+  if (options.proportional && !has_override) {
+    for (size_t i = 0; i + 1 < m; ++i) {
+      LinearConstraint row;
+      row.coeffs.assign(m, 0.0);
+      row.coeffs[i] = 1.0;
+      row.coeffs[i + 1] = -1.0;
+      row.relation = Relation::kGreaterEqual;
+      row.rhs = 0.0;
+      mip.lp.constraints.push_back(std::move(row));
+    }
+  }
+
+  // Caller-supplied rows (query-aware weights, SLAs, ...).
+  for (const LinearConstraint& row : options.extra_constraints) {
+    if (row.coeffs.size() != m) {
+      return Status::InvalidArgument("extra constraint width mismatch");
+    }
+    mip.lp.constraints.push_back(row);
+  }
+
+  auto milp = SolveMilp(mip);
+  if (!milp.ok()) {
+    if (!options.extra_constraints.empty() || has_override) {
+      // Custom problems can genuinely be infeasible; report that rather
+      // than silently dropping the caller's constraints.
+      return milp.status();
+    }
+    // The proportional caps are constructed feasible, so this path only
+    // triggers on numerically degenerate inputs; the deterministic
+    // reference allocation honors the same C1-C4 intent.
+    return AllocateBitsProportional(subspace_variances, options);
+  }
+
+  Allocation out;
+  out.bits.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    out.bits[i] = static_cast<int>(std::llround(milp->x[i]));
+  }
+  out.objective = milp->objective_value;
+  out.milp_solved = true;
+  return out;
+}
+
+}  // namespace vaq

@@ -1,0 +1,73 @@
+#include "core/balance.h"
+
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace vaq {
+namespace {
+
+std::vector<double> SubspaceSums(const std::vector<double>& vars,
+                                 const SubspaceLayout& layout) {
+  return layout.SubspaceVariances(vars);
+}
+
+}  // namespace
+
+BalanceResult IdentityBalance(const std::vector<double>& variances) {
+  BalanceResult out;
+  out.permutation.resize(variances.size());
+  std::iota(out.permutation.begin(), out.permutation.end(), size_t{0});
+  out.permuted_variances = variances;
+  return out;
+}
+
+BalanceResult PartialBalance(const std::vector<double>& variances,
+                             const SubspaceLayout& layout) {
+  VAQ_CHECK(variances.size() == layout.dim());
+  BalanceResult out = IdentityBalance(variances);
+  const size_t m = layout.num_subspaces();
+  if (m < 2) return out;
+
+  std::vector<double>& vars = out.permuted_variances;
+
+  // next_worst[t]: layout position of the worst PC of subspace t that has
+  // not yet been consumed by a swap.
+  std::vector<size_t> next_worst(m);
+  for (size_t t = 0; t < m; ++t) {
+    next_worst[t] = layout.span(t).offset + layout.span(t).length - 1;
+  }
+
+  bool any_swap = true;
+  while (any_swap) {
+    any_swap = false;
+    for (size_t r = 0; r < m; ++r) {
+      const SubspaceSpan& src_span = layout.span(r);
+      // Keep element 0 of the source subspace in place; try to push its
+      // i-th best PC into subspace r+i.
+      for (size_t i = 1; i < src_span.length; ++i) {
+        const size_t t = r + i;
+        if (t >= m) break;
+        const size_t src = src_span.offset + i;
+        const size_t dst = next_worst[t];
+        if (dst <= layout.span(t).offset) break;  // target exhausted
+        if (dst <= src) break;                    // nothing to gain
+
+        std::swap(vars[src], vars[dst]);
+        std::swap(out.permutation[src], out.permutation[dst]);
+        if (!SubspaceLayout::IsImportanceSorted(SubspaceSums(vars, layout))) {
+          // Revert and end this round (Algorithm 2 lines 5-8).
+          std::swap(vars[src], vars[dst]);
+          std::swap(out.permutation[src], out.permutation[dst]);
+          break;
+        }
+        --next_worst[t];
+        ++out.num_swaps;
+        any_swap = true;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace vaq

@@ -1,0 +1,42 @@
+#ifndef VAQ_CORE_BALANCE_H_
+#define VAQ_CORE_BALANCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/subspace.h"
+
+namespace vaq {
+
+/// Result of the partial balancing step: a permutation over the
+/// (PCA-ordered) dimensions plus the per-dimension variances in permuted
+/// order. `permutation[p]` is the original PCA component stored at layout
+/// position p.
+struct BalanceResult {
+  std::vector<size_t> permutation;
+  std::vector<double> permuted_variances;
+  size_t num_swaps = 0;
+};
+
+/// Partial subspace importance balancing (Section III-C, Algorithm 2
+/// lines 2-9, generalized to the multi-round schedule described in the
+/// text):
+///
+/// Round r keeps the first PC of subspace r in place and swaps its i-th
+/// best PC with the worst not-yet-consumed PC of subspace r+i, reverting
+/// any swap that would break the non-increasing subspace-variance ordering
+/// and ending the round there. Rounds repeat until a full round makes no
+/// swap. This spreads the dominant PCs across the leading subspaces
+/// *without* changing the global importance ordering.
+///
+/// `variances` must be sorted non-increasing (PCA order) and match
+/// layout.dim().
+BalanceResult PartialBalance(const std::vector<double>& variances,
+                             const SubspaceLayout& layout);
+
+/// Identity balance (used when balancing is disabled).
+BalanceResult IdentityBalance(const std::vector<double>& variances);
+
+}  // namespace vaq
+
+#endif  // VAQ_CORE_BALANCE_H_

@@ -1,0 +1,286 @@
+#include "core/codebook.h"
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <algorithm>
+#include <vector>
+
+#include "clustering/hierarchical.h"
+#include "clustering/kmeans.h"
+#include "common/io.h"
+#include "common/macros.h"
+
+namespace vaq {
+
+Status VariableCodebooks::Train(const FloatMatrix& projected,
+                                const SubspaceLayout& layout,
+                                const std::vector<int>& bits,
+                                const CodebookOptions& options) {
+  if (projected.rows() == 0) {
+    return Status::InvalidArgument("codebook training requires data");
+  }
+  if (projected.cols() != layout.dim()) {
+    return Status::InvalidArgument("data width does not match layout");
+  }
+  if (bits.size() != layout.num_subspaces()) {
+    return Status::InvalidArgument("bits vector must match subspace count");
+  }
+  for (int b : bits) {
+    if (b < 1 || b > 16) {
+      return Status::InvalidArgument("bits per subspace must be in [1, 16]");
+    }
+  }
+
+  layout_ = layout;
+  bits_ = bits;
+  centroids_.clear();
+  centroids_.reserve(bits.size());
+
+  for (size_t s = 0; s < layout.num_subspaces(); ++s) {
+    const SubspaceSpan& span = layout.span(s);
+    const FloatMatrix sub = projected.SliceColumns(span.offset, span.length);
+    const size_t k = size_t{1} << bits[s];
+    if (static_cast<size_t>(bits[s]) > options.hierarchical_threshold_bits) {
+      HierarchicalKMeansOptions hopts;
+      hopts.k = k;
+      hopts.coarse_k = 64;
+      hopts.max_iters = options.kmeans_iters;
+      hopts.seed = options.seed + 31 * s;
+      auto centroids = HierarchicalKMeans(sub, hopts);
+      if (!centroids.ok()) return centroids.status();
+      centroids_.push_back(std::move(*centroids));
+    } else {
+      KMeans km;
+      KMeansOptions kopts;
+      kopts.k = k;
+      kopts.max_iters = options.kmeans_iters;
+      kopts.seed = options.seed + 31 * s;
+      VAQ_RETURN_IF_ERROR(km.Train(sub, kopts));
+      centroids_.push_back(km.centroids());
+    }
+  }
+
+  lut_offsets_.resize(bits.size());
+  lut_entries_ = 0;
+  for (size_t s = 0; s < bits.size(); ++s) {
+    lut_offsets_[s] = lut_entries_;
+    lut_entries_ += size_t{1} << bits[s];
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+void VariableCodebooks::EncodeRow(const float* x, uint16_t* code) const {
+  VAQ_DCHECK(trained_);
+  for (size_t s = 0; s < layout_.num_subspaces(); ++s) {
+    const SubspaceSpan& span = layout_.span(s);
+    const FloatMatrix& dict = centroids_[s];
+    const float* sub = x + span.offset;
+    float best = std::numeric_limits<float>::max();
+    uint16_t best_code = 0;
+    for (size_t c = 0; c < dict.rows(); ++c) {
+      const float dist = SquaredL2(sub, dict.row(c), span.length);
+      if (dist < best) {
+        best = dist;
+        best_code = static_cast<uint16_t>(c);
+      }
+    }
+    code[s] = best_code;
+  }
+}
+
+Result<CodeMatrix> VariableCodebooks::Encode(const FloatMatrix& data,
+                                             size_t num_threads) const {
+  if (!trained_) return Status::FailedPrecondition("codebooks not trained");
+  if (data.cols() != dim()) {
+    return Status::InvalidArgument("data width does not match codebooks");
+  }
+  CodeMatrix codes(data.rows(), num_subspaces());
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, std::max<size_t>(1, data.rows()));
+  if (num_threads <= 1) {
+    for (size_t r = 0; r < data.rows(); ++r) {
+      EncodeRow(data.row(r), codes.row(r));
+    }
+    return codes;
+  }
+  std::vector<std::thread> workers;
+  const size_t chunk = (data.rows() + num_threads - 1) / num_threads;
+  for (size_t t = 0; t < num_threads; ++t) {
+    const size_t begin = t * chunk;
+    const size_t end = std::min(data.rows(), begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([this, &data, &codes, begin, end] {
+      for (size_t r = begin; r < end; ++r) {
+        EncodeRow(data.row(r), codes.row(r));
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  return codes;
+}
+
+void VariableCodebooks::DecodeRow(const uint16_t* code, float* out) const {
+  VAQ_DCHECK(trained_);
+  for (size_t s = 0; s < layout_.num_subspaces(); ++s) {
+    const SubspaceSpan& span = layout_.span(s);
+    const float* centroid = centroids_[s].row(code[s]);
+    for (size_t j = 0; j < span.length; ++j) {
+      out[span.offset + j] = centroid[j];
+    }
+  }
+}
+
+void VariableCodebooks::BuildLookupTable(const float* query,
+                                         std::vector<float>* lut) const {
+  VAQ_DCHECK(trained_);
+  lut->resize(lut_entries_);
+  for (size_t s = 0; s < layout_.num_subspaces(); ++s) {
+    const SubspaceSpan& span = layout_.span(s);
+    const FloatMatrix& dict = centroids_[s];
+    const float* sub = query + span.offset;
+    float* block = lut->data() + lut_offsets_[s];
+    for (size_t c = 0; c < dict.rows(); ++c) {
+      block[c] = SquaredL2(sub, dict.row(c), span.length);
+    }
+  }
+}
+
+void VariableCodebooks::BuildPrefixLookupTable(const float* prefix,
+                                               size_t prefix_subspaces,
+                                               std::vector<float>* lut) const {
+  VAQ_DCHECK(trained_);
+  VAQ_DCHECK(prefix_subspaces <= layout_.num_subspaces());
+  lut->resize(lut_entries_);
+  for (size_t s = 0; s < prefix_subspaces; ++s) {
+    const SubspaceSpan& span = layout_.span(s);
+    const FloatMatrix& dict = centroids_[s];
+    const float* sub = prefix + span.offset;
+    float* block = lut->data() + lut_offsets_[s];
+    for (size_t c = 0; c < dict.rows(); ++c) {
+      block[c] = SquaredL2(sub, dict.row(c), span.length);
+    }
+  }
+}
+
+float VariableCodebooks::PrefixAdcDistance(const uint16_t* code,
+                                           const float* lut,
+                                           size_t prefix_subspaces) const {
+  float acc = 0.f;
+  for (size_t s = 0; s < prefix_subspaces; ++s) {
+    acc += lut[lut_offsets_[s] + code[s]];
+  }
+  return acc;
+}
+
+float VariableCodebooks::AdcDistance(const uint16_t* code,
+                                     const float* lut) const {
+  float acc = 0.f;
+  for (size_t s = 0; s < layout_.num_subspaces(); ++s) {
+    acc += lut[lut_offsets_[s] + code[s]];
+  }
+  return acc;
+}
+
+Result<VariableCodebooks::SdcTables> VariableCodebooks::BuildSdcTables()
+    const {
+  if (!trained_) return Status::FailedPrecondition("codebooks not trained");
+  for (int b : bits_) {
+    if (b > 12) {
+      return Status::InvalidArgument(
+          "SDC tables above 12 bits per subspace are impractically large; "
+          "use asymmetric distances instead");
+    }
+  }
+  SdcTables sdc;
+  sdc.tables.resize(num_subspaces());
+  for (size_t s = 0; s < num_subspaces(); ++s) {
+    const FloatMatrix& dict = centroids_[s];
+    const size_t k = dict.rows();
+    const size_t len = dict.cols();
+    auto& table = sdc.tables[s];
+    table.assign(k * k, 0.f);
+    for (size_t a = 0; a < k; ++a) {
+      for (size_t b = a + 1; b < k; ++b) {
+        const float dist = SquaredL2(dict.row(a), dict.row(b), len);
+        table[a * k + b] = dist;
+        table[b * k + a] = dist;
+      }
+    }
+  }
+  return sdc;
+}
+
+float VariableCodebooks::SdcDistance(const uint16_t* a, const uint16_t* b,
+                                     const SdcTables& sdc) const {
+  float acc = 0.f;
+  for (size_t s = 0; s < num_subspaces(); ++s) {
+    const size_t k = size_t{1} << bits_[s];
+    acc += sdc.tables[s][static_cast<size_t>(a[s]) * k + b[s]];
+  }
+  return acc;
+}
+
+Result<double> VariableCodebooks::ReconstructionError(
+    const FloatMatrix& data) const {
+  if (!trained_) return Status::FailedPrecondition("codebooks not trained");
+  if (data.cols() != dim()) {
+    return Status::InvalidArgument("data width does not match codebooks");
+  }
+  std::vector<uint16_t> code(num_subspaces());
+  std::vector<float> decoded(dim());
+  double acc = 0.0;
+  for (size_t r = 0; r < data.rows(); ++r) {
+    EncodeRow(data.row(r), code.data());
+    DecodeRow(code.data(), decoded.data());
+    acc += SquaredL2(data.row(r), decoded.data(), dim());
+  }
+  return acc / static_cast<double>(data.rows());
+}
+
+void VariableCodebooks::Save(std::ostream& os) const {
+  WritePod<uint8_t>(os, trained_ ? 1 : 0);
+  WritePod<uint64_t>(os, layout_.num_subspaces());
+  for (size_t s = 0; s < layout_.num_subspaces(); ++s) {
+    WritePod<uint64_t>(os, layout_.span(s).offset);
+    WritePod<uint64_t>(os, layout_.span(s).length);
+  }
+  WriteVector(os, std::vector<int32_t>(bits_.begin(), bits_.end()));
+  for (const auto& c : centroids_) WriteMatrix(os, c);
+}
+
+Status VariableCodebooks::Load(std::istream& is) {
+  uint8_t trained = 0;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &trained));
+  uint64_t m = 0;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &m));
+  std::vector<SubspaceSpan> spans(m);
+  for (auto& span : spans) {
+    uint64_t offset = 0, length = 0;
+    VAQ_RETURN_IF_ERROR(ReadPod(is, &offset));
+    VAQ_RETURN_IF_ERROR(ReadPod(is, &length));
+    span.offset = offset;
+    span.length = length;
+  }
+  layout_ = SubspaceLayout(std::move(spans));
+  std::vector<int32_t> bits32;
+  VAQ_RETURN_IF_ERROR(ReadVector(is, &bits32));
+  bits_.assign(bits32.begin(), bits32.end());
+  centroids_.resize(m);
+  for (auto& c : centroids_) {
+    VAQ_RETURN_IF_ERROR(ReadMatrix(is, &c));
+  }
+  lut_offsets_.resize(m);
+  lut_entries_ = 0;
+  for (size_t s = 0; s < m; ++s) {
+    lut_offsets_[s] = lut_entries_;
+    lut_entries_ += size_t{1} << bits_[s];
+  }
+  trained_ = trained != 0;
+  return Status::OK();
+}
+
+}  // namespace vaq

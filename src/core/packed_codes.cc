@@ -1,0 +1,70 @@
+#include "core/packed_codes.h"
+
+#include <numeric>
+
+namespace vaq {
+
+Result<PackedCodes> PackedCodes::Pack(const CodeMatrix& codes,
+                                      const std::vector<int>& bits) {
+  if (codes.cols() != bits.size()) {
+    return Status::InvalidArgument("bits vector must match code width");
+  }
+  size_t total_bits = 0;
+  for (int b : bits) {
+    if (b < 1 || b > 16) {
+      return Status::InvalidArgument("bits per subspace must be in [1, 16]");
+    }
+    total_bits += static_cast<size_t>(b);
+  }
+
+  PackedCodes packed;
+  packed.rows_ = codes.rows();
+  packed.bits_ = bits;
+  packed.total_bits_ = total_bits;
+  packed.row_bytes_ = (total_bits + 7) / 8;
+  packed.data_.assign(packed.rows_ * packed.row_bytes_, 0);
+
+  for (size_t r = 0; r < codes.rows(); ++r) {
+    uint8_t* row = packed.data_.data() + r * packed.row_bytes_;
+    size_t bit_pos = 0;
+    for (size_t s = 0; s < bits.size(); ++s) {
+      const uint32_t value = codes(r, s);
+      if (value >= (uint32_t{1} << bits[s])) {
+        return Status::InvalidArgument(
+            "code value exceeds its subspace width");
+      }
+      // Little-endian bit order within the row.
+      for (int b = 0; b < bits[s]; ++b, ++bit_pos) {
+        if ((value >> b) & 1u) {
+          row[bit_pos / 8] |= static_cast<uint8_t>(1u << (bit_pos % 8));
+        }
+      }
+    }
+  }
+  return packed;
+}
+
+void PackedCodes::UnpackRow(size_t r, uint16_t* out) const {
+  VAQ_DCHECK(r < rows_);
+  const uint8_t* row = data_.data() + r * row_bytes_;
+  size_t bit_pos = 0;
+  for (size_t s = 0; s < bits_.size(); ++s) {
+    uint32_t value = 0;
+    for (int b = 0; b < bits_[s]; ++b, ++bit_pos) {
+      if ((row[bit_pos / 8] >> (bit_pos % 8)) & 1u) {
+        value |= (uint32_t{1} << b);
+      }
+    }
+    out[s] = static_cast<uint16_t>(value);
+  }
+}
+
+CodeMatrix PackedCodes::Unpack() const {
+  CodeMatrix codes(rows_, bits_.size());
+  for (size_t r = 0; r < rows_; ++r) {
+    UnpackRow(r, codes.row(r));
+  }
+  return codes;
+}
+
+}  // namespace vaq

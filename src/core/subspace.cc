@@ -1,0 +1,110 @@
+#include "core/subspace.h"
+
+#include "clustering/kmeans1d.h"
+#include "common/macros.h"
+
+namespace vaq {
+
+SubspaceLayout::SubspaceLayout(std::vector<SubspaceSpan> spans)
+    : spans_(std::move(spans)) {
+  dim_ = 0;
+  for (const auto& s : spans_) {
+    VAQ_CHECK(s.offset == dim_);  // spans must be contiguous and ordered
+    VAQ_CHECK(s.length > 0);
+    dim_ += s.length;
+  }
+}
+
+Result<SubspaceLayout> SubspaceLayout::Uniform(size_t dim, size_t m) {
+  if (m == 0) return Status::InvalidArgument("need at least one subspace");
+  if (m > dim) {
+    return Status::InvalidArgument(
+        "more subspaces than dimensions (m=" + std::to_string(m) +
+        ", d=" + std::to_string(dim) + ")");
+  }
+  const size_t base = dim / m;
+  const size_t extra = dim % m;
+  std::vector<SubspaceSpan> spans(m);
+  size_t offset = 0;
+  for (size_t i = 0; i < m; ++i) {
+    spans[i].offset = offset;
+    spans[i].length = base + (i < extra ? 1 : 0);
+    offset += spans[i].length;
+  }
+  return SubspaceLayout(std::move(spans));
+}
+
+Result<SubspaceLayout> SubspaceLayout::Clustered(
+    const std::vector<double>& variances, size_t m) {
+  for (size_t i = 1; i < variances.size(); ++i) {
+    if (variances[i] > variances[i - 1] + 1e-12) {
+      return Status::InvalidArgument(
+          "variances must be sorted in non-increasing order");
+    }
+  }
+  auto sizes = SegmentSorted1D(variances, m);
+  if (!sizes.ok()) return sizes.status();
+  std::vector<SubspaceSpan> spans(m);
+  size_t offset = 0;
+  for (size_t i = 0; i < m; ++i) {
+    spans[i].offset = offset;
+    spans[i].length = (*sizes)[i];
+    offset += spans[i].length;
+  }
+  return SubspaceLayout(std::move(spans));
+}
+
+std::vector<double> SubspaceLayout::SubspaceVariances(
+    const std::vector<double>& variances) const {
+  VAQ_CHECK(variances.size() == dim_);
+  std::vector<double> out(spans_.size(), 0.0);
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    for (size_t j = 0; j < spans_[i].length; ++j) {
+      out[i] += variances[spans_[i].offset + j];
+    }
+  }
+  return out;
+}
+
+bool SubspaceLayout::IsImportanceSorted(
+    const std::vector<double>& subspace_vars) {
+  for (size_t i = 1; i < subspace_vars.size(); ++i) {
+    if (subspace_vars[i] > subspace_vars[i - 1] + 1e-12) return false;
+  }
+  return true;
+}
+
+Status SubspaceLayout::RepairOrdering(const std::vector<double>& variances) {
+  VAQ_CHECK(variances.size() == dim_);
+  // Move the leading dimension of the right neighbor into subspace i
+  // whenever subspace i explains less variance than subspace i+1. Growing
+  // subspace i can in turn make it out-rank subspace i-1, so sweep until a
+  // full pass makes no move (bounded by dim moves in total).
+  auto var_of = [&](const SubspaceSpan& s) {
+    double acc = 0.0;
+    for (size_t j = 0; j < s.length; ++j) acc += variances[s.offset + j];
+    return acc;
+  };
+  // Each move shifts one dimension left by one subspace, so the total
+  // number of moves is bounded by dim * num_subspaces.
+  long long guard = static_cast<long long>(dim_) * spans_.size() + 2;
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (size_t i = 0; i + 1 < spans_.size(); ++i) {
+      while (var_of(spans_[i]) < var_of(spans_[i + 1]) - 1e-12) {
+        if (spans_[i + 1].length <= 1 || --guard <= 0) {
+          return Status::Internal("subspace ordering repair failed");
+        }
+        // Shift the boundary right by one dimension.
+        spans_[i].length += 1;
+        spans_[i + 1].offset += 1;
+        spans_[i + 1].length -= 1;
+        moved = true;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace vaq

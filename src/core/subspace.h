@@ -1,0 +1,68 @@
+#ifndef VAQ_CORE_SUBSPACE_H_
+#define VAQ_CORE_SUBSPACE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vaq {
+
+/// A contiguous span of (PCA-ordered) dimensions forming one subspace.
+struct SubspaceSpan {
+  size_t offset = 0;
+  size_t length = 0;
+};
+
+/// Partition of `dim` PCA-ordered dimensions into `m` contiguous subspaces.
+///
+/// Because dimensions are sorted by descending variance before the layout
+/// is built, subspace i is at least as important as subspace i+1 — the
+/// ordering invariant that both the bit-allocation monotonicity constraint
+/// and early-abandon subspace skipping rely on (Sections III-B and III-E).
+class SubspaceLayout {
+ public:
+  SubspaceLayout() = default;
+  explicit SubspaceLayout(std::vector<SubspaceSpan> spans);
+
+  /// Uniform layout: `m` subspaces of (as close as possible to) equal
+  /// width. When m does not divide d, the first (d % m) subspaces get one
+  /// extra dimension. Requires 1 <= m <= d.
+  static Result<SubspaceLayout> Uniform(size_t dim, size_t m);
+
+  /// Clustered layout (Section III-B): groups the descending per-dimension
+  /// variances into m contiguous blocks with optimal 1-D k-means, so that
+  /// dimensions explaining a similar share of variance share a subspace.
+  /// `variances` must be sorted in non-increasing order.
+  static Result<SubspaceLayout> Clustered(const std::vector<double>& variances,
+                                          size_t m);
+
+  size_t num_subspaces() const { return spans_.size(); }
+  size_t dim() const { return dim_; }
+  const SubspaceSpan& span(size_t i) const { return spans_[i]; }
+  const std::vector<SubspaceSpan>& spans() const { return spans_; }
+
+  /// Sum of `variances` over each subspace (Eq. 5 with the layout's
+  /// non-uniform widths).
+  std::vector<double> SubspaceVariances(
+      const std::vector<double>& variances) const;
+
+  /// True if the per-subspace variance sums are non-increasing.
+  static bool IsImportanceSorted(const std::vector<double>& subspace_vars);
+
+  /// Repairs ordering violations by moving dimensions from the start of
+  /// the right neighbor into the current subspace until the subspace
+  /// variance ordering is non-increasing ("Preserving Subspace Importance
+  /// Ordering", Section III-B). `variances` are per-dimension values in
+  /// layout order. Returns kInternal only if repair is impossible (cannot
+  /// happen for non-negative variances).
+  Status RepairOrdering(const std::vector<double>& variances);
+
+ private:
+  size_t dim_ = 0;
+  std::vector<SubspaceSpan> spans_;
+};
+
+}  // namespace vaq
+
+#endif  // VAQ_CORE_SUBSPACE_H_

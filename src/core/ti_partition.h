@@ -1,0 +1,79 @@
+#ifndef VAQ_CORE_TI_PARTITION_H_
+#define VAQ_CORE_TI_PARTITION_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+#include "core/codebook.h"
+
+namespace vaq {
+
+struct TiPartitionOptions {
+  /// Number of triangle-inequality clusters (the paper uses 1000 for
+  /// million-scale datasets).
+  size_t num_clusters = 1000;
+  /// How many leading subspaces the cluster centroids span
+  /// (TIClusterNumSubs in Algorithms 3-4). The triangle inequality is
+  /// applied in this prefix space, which lower-bounds the full distance.
+  size_t prefix_subspaces = 4;
+  uint64_t seed = 42;
+  /// Threads for the assignment pass (0 = hardware concurrency).
+  size_t num_threads = 1;
+};
+
+/// Data-skipping structure of Sections III-D/III-E.
+///
+/// Encoded vectors are partitioned by their nearest of `num_clusters`
+/// randomly-sampled decoded codes (prefix dims only); each member caches
+/// its (non-squared) prefix distance to the centroid and members are kept
+/// sorted by that distance. At query time, for a best-so-far radius r and
+/// query-to-centroid distance dq, only members with cached distance in
+/// (dq - r, dq + r) can beat the best-so-far — found by binary search —
+/// because |dq - dx| <= d(query, member) by the triangle inequality.
+class TiPartition {
+ public:
+  /// One partition: member row ids and their cached centroid distances,
+  /// both sorted ascending by distance.
+  struct Cluster {
+    std::vector<uint32_t> ids;
+    std::vector<float> distances;
+  };
+
+  TiPartition() = default;
+
+  /// Builds the partition over `codes` using `books` to decode. The
+  /// cluster count is capped at the number of rows.
+  Status Build(const CodeMatrix& codes, const VariableCodebooks& books,
+               const TiPartitionOptions& options);
+
+  bool built() const { return built_; }
+  size_t num_clusters() const { return clusters_.size(); }
+  size_t prefix_subspaces() const { return prefix_subspaces_; }
+  size_t prefix_dims() const { return centroids_.cols(); }
+  const Cluster& cluster(size_t c) const { return clusters_[c]; }
+
+  /// Cluster centroids in decoded (prefix) float space.
+  const FloatMatrix& centroids() const { return centroids_; }
+
+  /// Non-squared prefix distances from a projected query to every cluster
+  /// centroid.
+  void QueryDistances(const float* projected_query,
+                      std::vector<float>* out) const;
+
+  void Save(std::ostream& os) const;
+  Status Load(std::istream& is);
+
+ private:
+  bool built_ = false;
+  size_t prefix_subspaces_ = 0;
+  FloatMatrix centroids_;
+  std::vector<Cluster> clusters_;
+};
+
+}  // namespace vaq
+
+#endif  // VAQ_CORE_TI_PARTITION_H_

@@ -1,0 +1,469 @@
+#include "core/vaq_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+#include <thread>
+
+#include "common/io.h"
+#include "core/allocation.h"
+#include "core/balance.h"
+
+namespace vaq {
+namespace {
+
+constexpr char kMagic[8] = {'V', 'A', 'Q', 'I', 'D', 'X', '0', '1'};
+
+/// Early abandoning distance accumulation (Algorithm 4 lines 38-41).
+/// Accumulates lookup-table entries subspace by subspace, checking the
+/// best-so-far threshold every `interval` subspaces (the paper checks
+/// every four to amortize the branch). Returns the partial sum; the caller
+/// pushes only if it stayed below the threshold, so an abandoned
+/// accumulation is never mistaken for a full distance.
+float EarlyAbandonAdc(const VariableCodebooks& books, const uint16_t* code,
+                      const float* lut, float threshold_sq, size_t s_limit,
+                      size_t interval, SearchStats* stats) {
+  float acc = 0.f;
+  size_t s = 0;
+  while (s < s_limit) {
+    const size_t stop = std::min(s + interval, s_limit);
+    for (; s < stop; ++s) {
+      acc += lut[books.lut_offset(s) + code[s]];
+    }
+    if (acc >= threshold_sq) break;
+  }
+  if (stats != nullptr) stats->lut_adds += s;
+  return acc;
+}
+
+}  // namespace
+
+Result<VaqIndex> VaqIndex::Train(const FloatMatrix& data,
+                                 const VaqOptions& options) {
+  if (data.rows() < 2) {
+    return Status::InvalidArgument("training requires at least 2 vectors");
+  }
+  if (options.num_subspaces == 0 || options.num_subspaces > data.cols()) {
+    return Status::InvalidArgument("num_subspaces must be in [1, dim]");
+  }
+  if (options.min_bits < 1) {
+    return Status::InvalidArgument("min_bits must be >= 1");
+  }
+
+  VaqIndex index;
+  index.options_ = options;
+
+  // Step 1 (Algorithm 1, VarPCA): eigen-decomposition of the covariance;
+  // dimensions become PCs sorted by descending variance.
+  Pca::Options pca_opts;
+  pca_opts.center = options.center_pca;
+  VAQ_RETURN_IF_ERROR(index.pca_.Fit(data, pca_opts));
+  const std::vector<double> variances = index.pca_.ExplainedVarianceRatio();
+
+  // Step 2 (Section III-B): subspace construction + ordering repair.
+  const size_t m = options.num_subspaces;
+  SubspaceLayout layout;
+  if (options.clustered_subspaces) {
+    VAQ_ASSIGN_OR_RETURN(layout, SubspaceLayout::Clustered(variances, m));
+    VAQ_RETURN_IF_ERROR(layout.RepairOrdering(variances));
+  } else {
+    VAQ_ASSIGN_OR_RETURN(layout, SubspaceLayout::Uniform(data.cols(), m));
+  }
+
+  // Step 3 (Algorithm 2 lines 2-9): partial importance balancing.
+  BalanceResult balance = options.partial_balance
+                              ? PartialBalance(variances, layout)
+                              : IdentityBalance(variances);
+  index.permutation_ = balance.permutation;
+  index.balance_swaps_ = balance.num_swaps;
+  index.layout_ = layout;
+
+  // Step 4 (Algorithm 2 lines 10-18): adaptive bit allocation.
+  index.subspace_variances_ =
+      layout.SubspaceVariances(balance.permuted_variances);
+  if (options.adaptive_allocation) {
+    AllocationOptions aopts;
+    aopts.total_bits = options.total_bits;
+    aopts.min_bits = options.min_bits;
+    aopts.max_bits = options.max_bits;
+    // A dictionary larger than the training set cannot be estimated; cap
+    // the per-subspace bits at log2(n) so small collections spread their
+    // budget instead of memorizing the leading subspaces.
+    size_t data_cap = 1;
+    while ((size_t{1} << (data_cap + 1)) <= data.rows() && data_cap < 16) {
+      ++data_cap;
+    }
+    aopts.max_bits = std::max(options.min_bits,
+                              std::min(options.max_bits, data_cap));
+    if (options.total_bits > m * aopts.max_bits) {
+      // Tiny collections with large budgets: relax the cap to stay
+      // feasible rather than reject the configuration.
+      aopts.max_bits = options.max_bits;
+    }
+    aopts.target_variance = options.target_variance;
+    VAQ_ASSIGN_OR_RETURN(Allocation alloc,
+                         AllocateBits(index.subspace_variances_, aopts));
+    index.bits_ = alloc.bits;
+  } else {
+    // Uniform regime (PQ/OPQ style): total_bits/m each, remainder spread
+    // over the leading subspaces.
+    index.bits_.assign(m, static_cast<int>(options.total_bits / m));
+    for (size_t i = 0; i < options.total_bits % m; ++i) ++index.bits_[i];
+    for (int b : index.bits_) {
+      if (b < 1 || b > 16) {
+        return Status::InvalidArgument(
+            "uniform allocation yields unsupported bits per subspace");
+      }
+    }
+  }
+
+  // Step 5 (Algorithm 3): project, permute, train variable dictionaries,
+  // encode.
+  VAQ_ASSIGN_OR_RETURN(FloatMatrix projected, index.pca_.Transform(data));
+  projected = projected.PermuteColumns(index.permutation_);
+
+  CodebookOptions copts;
+  copts.kmeans_iters = options.kmeans_iters;
+  copts.seed = options.seed;
+  VAQ_RETURN_IF_ERROR(
+      index.books_.Train(projected, layout, index.bits_, copts));
+  VAQ_ASSIGN_OR_RETURN(index.codes_,
+                       index.books_.Encode(projected, options.train_threads));
+
+  // Step 6 (Algorithm 3 lines 24-48): TI partition for data skipping.
+  TiPartitionOptions topts;
+  topts.num_clusters = options.ti_clusters;
+  topts.num_threads = options.train_threads;
+  topts.seed = options.seed ^ 0x7153A9F2ULL;
+  if (options.ti_prefix_subspaces > 0) {
+    topts.prefix_subspaces = options.ti_prefix_subspaces;
+  } else {
+    // Auto: smallest prefix explaining >= 90% of the variance.
+    double acc = 0.0;
+    const double total = std::accumulate(index.subspace_variances_.begin(),
+                                         index.subspace_variances_.end(), 0.0);
+    size_t prefix = m;
+    for (size_t s = 0; s < m; ++s) {
+      acc += index.subspace_variances_[s];
+      if (total > 0.0 && acc >= 0.9 * total) {
+        prefix = s + 1;
+        break;
+      }
+    }
+    topts.prefix_subspaces = prefix;
+  }
+  VAQ_RETURN_IF_ERROR(index.ti_.Build(index.codes_, index.books_, topts));
+  return index;
+}
+
+Status VaqIndex::Add(const FloatMatrix& data) {
+  if (!books_.trained()) {
+    return Status::FailedPrecondition("index is not trained");
+  }
+  if (data.cols() != dim()) {
+    return Status::InvalidArgument("dimension mismatch in Add");
+  }
+  VAQ_ASSIGN_OR_RETURN(FloatMatrix projected, pca_.Transform(data));
+  projected = projected.PermuteColumns(permutation_);
+  VAQ_ASSIGN_OR_RETURN(CodeMatrix fresh,
+                       books_.Encode(projected, options_.train_threads));
+
+  CodeMatrix merged(codes_.rows() + fresh.rows(), codes_.cols());
+  std::copy_n(codes_.data(), codes_.size(), merged.data());
+  std::copy_n(fresh.data(), fresh.size(),
+              merged.data() + codes_.size());
+  codes_ = std::move(merged);
+
+  TiPartitionOptions topts;
+  topts.num_clusters = options_.ti_clusters;
+  topts.num_threads = options_.train_threads;
+  topts.prefix_subspaces = ti_.prefix_subspaces();
+  topts.seed = options_.seed ^ 0x7153A9F2ULL;
+  return ti_.Build(codes_, books_, topts);
+}
+
+void VaqIndex::ProjectQuery(const float* query,
+                            std::vector<float>* projected) const {
+  std::vector<float> pca_space(dim());
+  pca_.TransformRow(query, pca_space.data());
+  projected->resize(dim());
+  for (size_t p = 0; p < dim(); ++p) {
+    (*projected)[p] = pca_space[permutation_[p]];
+  }
+}
+
+void VaqIndex::SearchProjected(const float* projected,
+                               const SearchParams& params, TopKHeap* heap,
+                               SearchStats* stats) const {
+  std::vector<float> lut;
+  books_.BuildLookupTable(projected, &lut);
+
+  const size_t m = num_subspaces();
+  const size_t s_limit = params.num_subspaces_used == 0
+                             ? m
+                             : std::min(params.num_subspaces_used, m);
+  SearchMode mode = params.mode;
+  if (mode == SearchMode::kTriangleInequality && s_limit != m) {
+    mode = SearchMode::kEarlyAbandon;  // TI caches assume full distances
+  }
+
+  const size_t interval = std::max<size_t>(1, params.ea_check_interval);
+  const size_t n = codes_.rows();
+  if (mode == SearchMode::kHeap) {
+    for (size_t r = 0; r < n; ++r) {
+      const uint16_t* code = codes_.row(r);
+      float acc = 0.f;
+      for (size_t s = 0; s < s_limit; ++s) {
+        acc += lut[books_.lut_offset(s) + code[s]];
+      }
+      heap->Push(acc, static_cast<int64_t>(r));
+      if (stats != nullptr) {
+        ++stats->codes_visited;
+        stats->lut_adds += s_limit;
+      }
+    }
+    return;
+  }
+
+  if (mode == SearchMode::kEarlyAbandon) {
+    for (size_t r = 0; r < n; ++r) {
+      const float threshold = heap->Threshold();
+      const float acc =
+          EarlyAbandonAdc(books_, codes_.row(r), lut.data(), threshold,
+                          s_limit, interval, stats);
+      if (acc < threshold) heap->Push(acc, static_cast<int64_t>(r));
+      if (stats != nullptr) ++stats->codes_visited;
+    }
+    return;
+  }
+
+  // Triangle inequality cascade (Algorithm 4).
+  std::vector<float> query_to_cluster;
+  ti_.QueryDistances(projected, &query_to_cluster);
+  std::vector<size_t> order(ti_.num_clusters());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return query_to_cluster[a] < query_to_cluster[b];
+  });
+  const size_t visit = std::clamp<size_t>(
+      static_cast<size_t>(std::ceil(params.visit_fraction *
+                                    static_cast<double>(order.size()))),
+      1, order.size());
+  if (stats != nullptr) {
+    stats->clusters_total = order.size();
+    stats->clusters_visited = visit;
+  }
+
+  for (size_t v = 0; v < visit; ++v) {
+    const size_t c = order[v];
+    const TiPartition::Cluster& cluster = ti_.cluster(c);
+    if (cluster.ids.empty()) continue;
+    const float dq = query_to_cluster[c];
+
+    // Members that can beat the best-so-far satisfy
+    // |dq - d(x, centroid)| < bsf, i.e. d(x, centroid) in (dq-r, dq+r).
+    // The cached distances are sorted, so locate the window once and keep
+    // tightening its upper end as the threshold improves.
+    size_t begin = 0;
+    size_t end = cluster.ids.size();
+    if (heap->full()) {
+      const float r = std::sqrt(heap->Threshold());
+      begin = std::lower_bound(cluster.distances.begin(),
+                               cluster.distances.end(), dq - r) -
+              cluster.distances.begin();
+      end = std::upper_bound(cluster.distances.begin(),
+                             cluster.distances.end(), dq + r) -
+            cluster.distances.begin();
+      if (stats != nullptr) {
+        stats->codes_skipped_ti += cluster.ids.size() - (end - begin);
+      }
+    }
+    for (size_t i = begin; i < end; ++i) {
+      const float threshold = heap->Threshold();
+      if (heap->full()) {
+        const float r = std::sqrt(threshold);
+        const float dx = cluster.distances[i];
+        if (dx >= dq + r) {
+          // Sorted ascending: every later member is also out of range.
+          if (stats != nullptr) stats->codes_skipped_ti += end - i;
+          break;
+        }
+        if (dx <= dq - r) {
+          if (stats != nullptr) ++stats->codes_skipped_ti;
+          continue;
+        }
+      }
+      const uint32_t id = cluster.ids[i];
+      const float acc = EarlyAbandonAdc(books_, codes_.row(id), lut.data(),
+                                        threshold, m, interval, stats);
+      if (acc < threshold) heap->Push(acc, static_cast<int64_t>(id));
+      if (stats != nullptr) ++stats->codes_visited;
+    }
+  }
+}
+
+Status VaqIndex::Search(const float* query, const SearchParams& params,
+                        std::vector<Neighbor>* out,
+                        SearchStats* stats) const {
+  if (!books_.trained()) {
+    return Status::FailedPrecondition("index is not trained");
+  }
+  if (params.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (params.visit_fraction <= 0.0 || params.visit_fraction > 1.0) {
+    return Status::InvalidArgument("visit_fraction must be in (0, 1]");
+  }
+  std::vector<float> projected;
+  ProjectQuery(query, &projected);
+
+  TopKHeap heap(params.k);
+  SearchProjected(projected.data(), params, &heap, stats);
+  *out = heap.TakeSorted();
+  for (Neighbor& nb : *out) {
+    nb.distance = std::sqrt(std::max(0.f, nb.distance));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<Neighbor>>> VaqIndex::SearchBatch(
+    const FloatMatrix& queries, const SearchParams& params,
+    size_t num_threads) const {
+  if (queries.cols() != dim()) {
+    return Status::InvalidArgument("query dimension mismatch");
+  }
+  std::vector<std::vector<Neighbor>> results(queries.rows());
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, std::max<size_t>(1, queries.rows()));
+  if (num_threads <= 1) {
+    for (size_t q = 0; q < queries.rows(); ++q) {
+      VAQ_RETURN_IF_ERROR(Search(queries.row(q), params, &results[q]));
+    }
+    return results;
+  }
+  // Queries are independent; each worker owns a disjoint slice. The first
+  // error (all failure modes are argument validation, identical across
+  // queries) is reported after the join.
+  std::vector<Status> failures(num_threads);
+  std::vector<std::thread> workers;
+  const size_t chunk = (queries.rows() + num_threads - 1) / num_threads;
+  for (size_t t = 0; t < num_threads; ++t) {
+    const size_t begin = t * chunk;
+    const size_t end = std::min(queries.rows(), begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([this, &queries, &params, &results, &failures, t,
+                          begin, end] {
+      for (size_t q = begin; q < end; ++q) {
+        const Status st = Search(queries.row(q), params, &results[q]);
+        if (!st.ok()) {
+          failures[t] = st;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  for (const Status& st : failures) {
+    if (!st.ok()) return st;
+  }
+  return results;
+}
+
+Status VaqIndex::Save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return Status::IoError("cannot open " + path + " for writing");
+  WriteMagic(os, kMagic);
+
+  WritePod<uint64_t>(os, options_.num_subspaces);
+  WritePod<uint64_t>(os, options_.total_bits);
+  WritePod<uint64_t>(os, options_.min_bits);
+  WritePod<uint64_t>(os, options_.max_bits);
+  WritePod<double>(os, options_.target_variance);
+  WritePod<uint8_t>(os, options_.clustered_subspaces);
+  WritePod<uint8_t>(os, options_.partial_balance);
+  WritePod<uint8_t>(os, options_.adaptive_allocation);
+  WritePod<uint8_t>(os, options_.center_pca);
+  WritePod<uint64_t>(os, options_.ti_clusters);
+  WritePod<uint64_t>(os, options_.ti_prefix_subspaces);
+  WritePod<int32_t>(os, options_.kmeans_iters);
+  WritePod<uint64_t>(os, options_.seed);
+
+  // PCA state.
+  WriteVector(os, std::vector<double>(pca_.eigenvalues()));
+  WriteVector(os, pca_.means());
+  WriteMatrix(os, pca_.components());
+
+  WriteVector(os, std::vector<uint64_t>(permutation_.begin(),
+                                        permutation_.end()));
+  WriteVector(os, subspace_variances_);
+  WritePod<uint64_t>(os, balance_swaps_);
+  books_.Save(os);
+  WriteMatrix(os, codes_);
+  ti_.Save(os);
+  if (!os) return Status::IoError("write failure on " + path);
+  return Status::OK();
+}
+
+Result<VaqIndex> VaqIndex::Load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IoError("cannot open " + path);
+  VAQ_RETURN_IF_ERROR(CheckMagic(is, kMagic));
+
+  VaqIndex index;
+  uint64_t u64 = 0;
+  uint8_t u8 = 0;
+  int32_t i32 = 0;
+  double f64 = 0.0;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
+  index.options_.num_subspaces = u64;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
+  index.options_.total_bits = u64;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
+  index.options_.min_bits = u64;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
+  index.options_.max_bits = u64;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &f64));
+  index.options_.target_variance = f64;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &u8));
+  index.options_.clustered_subspaces = u8;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &u8));
+  index.options_.partial_balance = u8;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &u8));
+  index.options_.adaptive_allocation = u8;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &u8));
+  index.options_.center_pca = u8;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
+  index.options_.ti_clusters = u64;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
+  index.options_.ti_prefix_subspaces = u64;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &i32));
+  index.options_.kmeans_iters = i32;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
+  index.options_.seed = u64;
+
+  std::vector<double> eigenvalues;
+  std::vector<float> means;
+  FloatMatrix components;
+  VAQ_RETURN_IF_ERROR(ReadVector(is, &eigenvalues));
+  VAQ_RETURN_IF_ERROR(ReadVector(is, &means));
+  VAQ_RETURN_IF_ERROR(ReadMatrix(is, &components));
+  VAQ_RETURN_IF_ERROR(
+      index.pca_.Restore(std::move(eigenvalues), std::move(means),
+                         std::move(components)));
+
+  std::vector<uint64_t> perm64;
+  VAQ_RETURN_IF_ERROR(ReadVector(is, &perm64));
+  index.permutation_.assign(perm64.begin(), perm64.end());
+  VAQ_RETURN_IF_ERROR(ReadVector(is, &index.subspace_variances_));
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
+  index.balance_swaps_ = u64;
+  VAQ_RETURN_IF_ERROR(index.books_.Load(is));
+  index.layout_ = index.books_.layout();
+  index.bits_ = index.books_.bits();
+  VAQ_RETURN_IF_ERROR(ReadMatrix(is, &index.codes_));
+  VAQ_RETURN_IF_ERROR(index.ti_.Load(is));
+  return index;
+}
+
+}  // namespace vaq

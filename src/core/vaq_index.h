@@ -1,0 +1,160 @@
+#ifndef VAQ_CORE_VAQ_INDEX_H_
+#define VAQ_CORE_VAQ_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+#include "common/topk.h"
+#include "core/codebook.h"
+#include "core/subspace.h"
+#include "core/ti_partition.h"
+#include "linalg/pca.h"
+
+namespace vaq {
+
+/// Training-time configuration of a VaqIndex (Algorithm 5 inputs).
+struct VaqOptions {
+  /// Number of subspaces m.
+  size_t num_subspaces = 32;
+  /// Total encoding budget in bits (sum over subspaces).
+  size_t total_bits = 256;
+  /// C2 bounds on the per-subspace allocation (paper: 1 and 13).
+  size_t min_bits = 1;
+  size_t max_bits = 13;
+  /// C1 target fraction of explained variance.
+  double target_variance = 1.0;
+  /// Non-uniform subspace widths via 1-D k-means over the variance profile
+  /// (Section III-B "Clustering of Dimensions"); uniform widths otherwise.
+  bool clustered_subspaces = false;
+  /// Partial importance balancing (Algorithm 2 lines 2-9).
+  bool partial_balance = true;
+  /// Adaptive MILP bit allocation; false assigns total_bits/m uniformly
+  /// (the PQ/OPQ regime) for ablation studies.
+  bool adaptive_allocation = true;
+  /// Mean-center before PCA.
+  bool center_pca = true;
+  /// Triangle-inequality partition size (paper: 1000 clusters).
+  size_t ti_clusters = 1000;
+  /// Subspaces spanned by TI centroids; 0 picks the smallest prefix
+  /// explaining >= 90% of the variance.
+  size_t ti_prefix_subspaces = 0;
+  int kmeans_iters = 25;
+  uint64_t seed = 42;
+  /// Threads used for the embarrassingly-parallel training steps (data
+  /// encoding and TI cluster assignment). 0 = hardware concurrency.
+  /// Query execution is always single-threaded per query, matching the
+  /// paper's CPU-time reporting.
+  size_t train_threads = 1;
+};
+
+/// Query-time pruning strategy (Figure 7's variants).
+enum class SearchMode {
+  kHeap,             ///< plain ADC scan into a top-k heap
+  kEarlyAbandon,     ///< + subspace skipping (EA)
+  kTriangleInequality  ///< + data skipping (TI) cascading into EA
+};
+
+struct SearchParams {
+  size_t k = 100;
+  SearchMode mode = SearchMode::kTriangleInequality;
+  /// Fraction of TI clusters visited (paper evaluates 0.25 and 0.1).
+  double visit_fraction = 0.25;
+  /// Use only the first `num_subspaces_used` subspaces when accumulating
+  /// distances (0 = all). Supports the subspace-omission study (Figure 4);
+  /// TI mode requires all subspaces and falls back to EA when set.
+  size_t num_subspaces_used = 0;
+  /// How many subspaces to accumulate between early-abandon threshold
+  /// checks (Section III-E notes checks "after every four subspaces" to
+  /// amortize the branch). 1 checks after every lookup.
+  size_t ea_check_interval = 4;
+};
+
+/// Counters describing how much work a search did; used to quantify
+/// pruning power in tests and benchmarks.
+struct SearchStats {
+  size_t codes_visited = 0;      ///< codes whose distance accumulation began
+  size_t codes_skipped_ti = 0;   ///< codes pruned by the triangle inequality
+  size_t lut_adds = 0;           ///< lookup-table additions performed
+  size_t clusters_visited = 0;
+  size_t clusters_total = 0;
+
+  void Reset() { *this = SearchStats{}; }
+};
+
+/// Variance-Aware Quantization index: the paper's end-to-end system
+/// (Algorithm 5). Train() runs VarPCA, subspace construction, partial
+/// balancing, adaptive bit allocation, variable-size dictionary learning,
+/// encoding, and the TI partition build; Search() answers k-NN queries
+/// with ADC plus the two skipping strategies.
+class VaqIndex {
+ public:
+  VaqIndex() = default;
+
+  /// Trains the index on `data` (n x d) and encodes all of it as the
+  /// database. Requires n >= 2 and options.num_subspaces <= d.
+  static Result<VaqIndex> Train(const FloatMatrix& data,
+                                const VaqOptions& options);
+
+  /// Encodes additional vectors and appends them to the database, then
+  /// rebuilds the TI partition.
+  Status Add(const FloatMatrix& data);
+
+  size_t size() const { return codes_.rows(); }
+  size_t dim() const { return pca_.dim(); }
+  size_t num_subspaces() const { return layout_.num_subspaces(); }
+  const std::vector<int>& bits_per_subspace() const { return bits_; }
+  const SubspaceLayout& layout() const { return layout_; }
+  const VariableCodebooks& codebooks() const { return books_; }
+  const TiPartition& ti_partition() const { return ti_; }
+  const VaqOptions& options() const { return options_; }
+  /// Normalized variance share of each (importance-ordered) subspace.
+  const std::vector<double>& subspace_variances() const {
+    return subspace_variances_;
+  }
+  /// Number of swaps the partial balancing step performed.
+  size_t balance_swaps() const { return balance_swaps_; }
+
+  /// Bytes used by the encoded database (2 bytes per subspace per vector).
+  size_t code_bytes() const { return codes_.size() * sizeof(uint16_t); }
+
+  /// k-NN search for a raw (unprojected) query of length dim(). Results
+  /// are ADC distance estimates (non-squared), ascending.
+  Status Search(const float* query, const SearchParams& params,
+                std::vector<Neighbor>* out, SearchStats* stats = nullptr) const;
+
+  /// Batch search over the rows of `queries`. `num_threads` > 1 answers
+  /// queries concurrently (each query remains single-threaded, matching
+  /// the paper's per-query CPU accounting); 0 = hardware concurrency.
+  Result<std::vector<std::vector<Neighbor>>> SearchBatch(
+      const FloatMatrix& queries, const SearchParams& params,
+      size_t num_threads = 1) const;
+
+  /// Projects a raw vector into the index's (permuted PCA) code space.
+  void ProjectQuery(const float* query, std::vector<float>* projected) const;
+
+  Status Save(const std::string& path) const;
+  static Result<VaqIndex> Load(const std::string& path);
+
+ private:
+  void SearchProjected(const float* projected, const SearchParams& params,
+                       TopKHeap* heap, SearchStats* stats) const;
+
+  VaqOptions options_;
+  Pca pca_;
+  std::vector<size_t> permutation_;  ///< layout position -> PCA component
+  SubspaceLayout layout_;
+  std::vector<int> bits_;
+  std::vector<double> subspace_variances_;
+  size_t balance_swaps_ = 0;
+  VariableCodebooks books_;
+  CodeMatrix codes_;
+  TiPartition ti_;
+};
+
+}  // namespace vaq
+
+#endif  // VAQ_CORE_VAQ_INDEX_H_

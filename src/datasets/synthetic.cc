@@ -1,0 +1,273 @@
+#include "datasets/synthetic.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/rotation.h"
+
+namespace vaq {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Smooth random walk of length d: cumulative sum of Gaussian steps with a
+/// short moving-average smoother of width `smooth`.
+void RandomWalkRow(Rng* rng, float* row, size_t d, size_t smooth) {
+  std::vector<double> steps(d);
+  for (size_t i = 0; i < d; ++i) steps[i] = rng->Gaussian();
+  double acc = 0.0;
+  std::vector<double> walk(d);
+  for (size_t i = 0; i < d; ++i) {
+    acc += steps[i];
+    walk[i] = acc;
+  }
+  for (size_t i = 0; i < d; ++i) {
+    double sum = 0.0;
+    size_t cnt = 0;
+    const size_t lo = i >= smooth ? i - smooth : 0;
+    const size_t hi = std::min(d - 1, i + smooth);
+    for (size_t j = lo; j <= hi; ++j) {
+      sum += walk[j];
+      ++cnt;
+    }
+    row[i] = static_cast<float>(sum / static_cast<double>(cnt));
+  }
+}
+
+FloatMatrix SaldLike(size_t count, uint64_t seed) {
+  const size_t d = 128;
+  Rng rng(seed);
+  FloatMatrix x(count, d);
+  for (size_t r = 0; r < count; ++r) RandomWalkRow(&rng, x.row(r), d, 4);
+  ZNormalizeRows(&x);
+  return x;
+}
+
+FloatMatrix SeismicLike(size_t count, uint64_t seed) {
+  const size_t d = 256;
+  Rng rng(seed);
+  FloatMatrix x(count, d);
+  for (size_t r = 0; r < count; ++r) {
+    float* row = x.row(r);
+    RandomWalkRow(&rng, row, d, 2);
+    // Transient burst: a windowed high-frequency packet, as in quake
+    // arrivals riding on background drift.
+    const size_t start = static_cast<size_t>(rng.NextIndex(d / 2));
+    const size_t width = d / 8 + static_cast<size_t>(rng.NextIndex(d / 8));
+    const double freq = 0.5 + rng.NextDouble() * 2.0;
+    const double amp = 2.0 + rng.NextDouble() * 4.0;
+    for (size_t i = start; i < std::min(d, start + width); ++i) {
+      const double t = static_cast<double>(i - start) /
+                       static_cast<double>(width);
+      const double envelope = std::sin(kPi * t);  // rises then decays
+      row[i] += static_cast<float>(
+          amp * envelope * std::sin(2.0 * kPi * freq * (i - start) / 8.0));
+    }
+  }
+  ZNormalizeRows(&x);
+  return x;
+}
+
+FloatMatrix AstroLike(size_t count, uint64_t seed) {
+  const size_t d = 256;
+  Rng rng(seed);
+  FloatMatrix x(count, d);
+  for (size_t r = 0; r < count; ++r) {
+    float* row = x.row(r);
+    // Light curve: slow trend + 1-3 periodic components + small noise.
+    const double trend = rng.Gaussian(0.0, 0.02);
+    const int harmonics = 1 + static_cast<int>(rng.NextIndex(3));
+    std::vector<double> freq(harmonics), amp(harmonics), phase(harmonics);
+    for (int h = 0; h < harmonics; ++h) {
+      freq[h] = 1.0 + rng.NextDouble() * 6.0;
+      amp[h] = 0.5 + rng.NextDouble() * 2.0;
+      phase[h] = rng.NextDouble() * 2.0 * kPi;
+    }
+    for (size_t i = 0; i < d; ++i) {
+      double v = trend * static_cast<double>(i) + rng.Gaussian(0.0, 0.15);
+      const double t = static_cast<double>(i) / static_cast<double>(d);
+      for (int h = 0; h < harmonics; ++h) {
+        v += amp[h] * std::sin(2.0 * kPi * freq[h] * t + phase[h]);
+      }
+      row[i] = static_cast<float>(v);
+    }
+  }
+  ZNormalizeRows(&x);
+  return x;
+}
+
+}  // namespace
+
+std::string SyntheticKindName(SyntheticKind kind) {
+  switch (kind) {
+    case SyntheticKind::kSiftLike:
+      return "SIFT-like";
+    case SyntheticKind::kDeepLike:
+      return "DEEP-like";
+    case SyntheticKind::kSaldLike:
+      return "SALD-like";
+    case SyntheticKind::kSeismicLike:
+      return "SEISMIC-like";
+    case SyntheticKind::kAstroLike:
+      return "ASTRO-like";
+  }
+  return "unknown";
+}
+
+size_t SyntheticKindDim(SyntheticKind kind) {
+  switch (kind) {
+    case SyntheticKind::kSiftLike:
+      return 128;
+    case SyntheticKind::kDeepLike:
+      return 96;
+    case SyntheticKind::kSaldLike:
+      return 128;
+    case SyntheticKind::kSeismicLike:
+      return 256;
+    case SyntheticKind::kAstroLike:
+      return 256;
+  }
+  return 0;
+}
+
+std::vector<double> PowerLawSpectrum(size_t dim, double alpha) {
+  std::vector<double> spectrum(dim);
+  double total = 0.0;
+  for (size_t i = 0; i < dim; ++i) {
+    spectrum[i] = std::pow(static_cast<double>(i + 1), -alpha);
+    total += spectrum[i];
+  }
+  for (double& s : spectrum) s /= total;
+  return spectrum;
+}
+
+FloatMatrix GenerateSpectrumMixture(size_t count, size_t dim,
+                                    const std::vector<double>& spectrum,
+                                    size_t num_clusters, double cluster_scale,
+                                    uint64_t seed) {
+  VAQ_CHECK(spectrum.size() == dim);
+  VAQ_CHECK(num_clusters >= 1);
+  Rng rng(seed);
+  const FloatMatrix rotation = RandomRotation(dim, seed ^ 0x5bd1e995);
+
+  FloatMatrix centers(num_clusters, dim);
+  for (size_t i = 0; i < centers.size(); ++i) {
+    centers.data()[i] =
+        static_cast<float>(rng.Gaussian(0.0, cluster_scale));
+  }
+
+  std::vector<double> scale(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    scale[i] = std::sqrt(std::max(0.0, spectrum[i]) *
+                         static_cast<double>(dim));
+  }
+
+  FloatMatrix x(count, dim);
+  std::vector<float> latent(dim);
+  for (size_t r = 0; r < count; ++r) {
+    const size_t c = static_cast<size_t>(rng.NextIndex(num_clusters));
+    for (size_t i = 0; i < dim; ++i) {
+      latent[i] = static_cast<float>(rng.Gaussian() * scale[i]);
+    }
+    float* row = x.row(r);
+    const float* center = centers.row(c);
+    // row = center + latent * R^T (rotate the shaped noise).
+    for (size_t j = 0; j < dim; ++j) {
+      double acc = center[j];
+      for (size_t i = 0; i < dim; ++i) {
+        acc += static_cast<double>(latent[i]) * rotation(j, i);
+      }
+      row[j] = static_cast<float>(acc);
+    }
+  }
+  return x;
+}
+
+void ZNormalizeRows(FloatMatrix* data) {
+  const size_t d = data->cols();
+  if (d == 0) return;
+  for (size_t r = 0; r < data->rows(); ++r) {
+    float* row = data->row(r);
+    double mean = 0.0;
+    for (size_t i = 0; i < d; ++i) mean += row[i];
+    mean /= static_cast<double>(d);
+    double var = 0.0;
+    for (size_t i = 0; i < d; ++i) {
+      const double diff = row[i] - mean;
+      var += diff * diff;
+    }
+    var /= static_cast<double>(d);
+    const double inv_std = var > 1e-12 ? 1.0 / std::sqrt(var) : 0.0;
+    for (size_t i = 0; i < d; ++i) {
+      row[i] = static_cast<float>((row[i] - mean) * inv_std);
+    }
+  }
+}
+
+FloatMatrix GenerateSynthetic(SyntheticKind kind, size_t count,
+                              uint64_t seed) {
+  switch (kind) {
+    case SyntheticKind::kSiftLike: {
+      // Gradient-histogram style descriptors: non-negative, moderately
+      // skewed spectrum, clustered by visual pattern.
+      // Few, well-separated visual-word clusters with a skewed residual
+      // spectrum: real SIFT concentrates ~half its variance in the top
+      // dozen PCs (low intrinsic dimensionality).
+      FloatMatrix x = GenerateSpectrumMixture(
+          count, 128, PowerLawSpectrum(128, 1.3), 16, 2.0, seed);
+      for (size_t i = 0; i < x.size(); ++i) {
+        x.data()[i] = std::fabs(x.data()[i]);
+      }
+      return x;
+    }
+    case SyntheticKind::kDeepLike: {
+      // CNN embeddings: mild decay, rows L2-normalized.
+      FloatMatrix x = GenerateSpectrumMixture(
+          count, 96, PowerLawSpectrum(96, 0.5), 32, 1.2, seed);
+      for (size_t r = 0; r < x.rows(); ++r) {
+        float* row = x.row(r);
+        const float norm = std::sqrt(SquaredNorm(row, x.cols()));
+        if (norm > 1e-12f) {
+          for (size_t i = 0; i < x.cols(); ++i) row[i] /= norm;
+        }
+      }
+      return x;
+    }
+    case SyntheticKind::kSaldLike:
+      return SaldLike(count, seed);
+    case SyntheticKind::kSeismicLike:
+      return SeismicLike(count, seed);
+    case SyntheticKind::kAstroLike:
+      return AstroLike(count, seed);
+  }
+  return FloatMatrix();
+}
+
+FloatMatrix GenerateSyntheticQueries(SyntheticKind kind, size_t count,
+                                     uint64_t seed, double noise) {
+  FloatMatrix queries = GenerateSynthetic(kind, count, seed ^ 0x9E3779B9ULL);
+  if (noise > 0.0) {
+    Rng rng(seed ^ 0x85EBCA6BULL);
+    // Per-dimension std of the workload itself scales the noise.
+    std::vector<double> stddev(queries.cols(), 0.0);
+    for (size_t r = 0; r < queries.rows(); ++r) {
+      const float* row = queries.row(r);
+      for (size_t c = 0; c < queries.cols(); ++c) {
+        stddev[c] += static_cast<double>(row[c]) * row[c];
+      }
+    }
+    for (size_t c = 0; c < queries.cols(); ++c) {
+      stddev[c] = std::sqrt(stddev[c] /
+                            std::max<size_t>(1, queries.rows()));
+    }
+    for (size_t r = 0; r < queries.rows(); ++r) {
+      float* row = queries.row(r);
+      for (size_t c = 0; c < queries.cols(); ++c) {
+        row[c] += static_cast<float>(rng.Gaussian(0.0, noise * stddev[c]));
+      }
+    }
+  }
+  return queries;
+}
+
+}  // namespace vaq

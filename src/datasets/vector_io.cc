@@ -1,0 +1,104 @@
+#include "datasets/vector_io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+namespace vaq {
+namespace {
+
+template <typename Element>
+Result<Matrix<float>> ReadVecsAsFloat(const std::string& path,
+                                      size_t max_vectors) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IoError("cannot open " + path);
+
+  std::vector<float> values;
+  size_t dim = 0;
+  size_t count = 0;
+  while (max_vectors == 0 || count < max_vectors) {
+    int32_t d = 0;
+    is.read(reinterpret_cast<char*>(&d), sizeof(d));
+    if (!is) break;  // clean EOF between records
+    if (d <= 0) return Status::IoError("corrupt record header in " + path);
+    if (dim == 0) {
+      dim = static_cast<size_t>(d);
+    } else if (dim != static_cast<size_t>(d)) {
+      return Status::IoError("inconsistent dimensions in " + path);
+    }
+    std::vector<Element> buffer(dim);
+    is.read(reinterpret_cast<char*>(buffer.data()),
+            static_cast<std::streamsize>(dim * sizeof(Element)));
+    if (!is) return Status::IoError("truncated record in " + path);
+    for (Element e : buffer) values.push_back(static_cast<float>(e));
+    ++count;
+  }
+  if (count == 0) return Status::IoError("no vectors found in " + path);
+  return FloatMatrix(count, dim, std::move(values));
+}
+
+}  // namespace
+
+Result<FloatMatrix> ReadFvecs(const std::string& path, size_t max_vectors) {
+  return ReadVecsAsFloat<float>(path, max_vectors);
+}
+
+Result<FloatMatrix> ReadBvecs(const std::string& path, size_t max_vectors) {
+  return ReadVecsAsFloat<uint8_t>(path, max_vectors);
+}
+
+Result<Matrix<int32_t>> ReadIvecs(const std::string& path,
+                                  size_t max_vectors) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IoError("cannot open " + path);
+  std::vector<int32_t> values;
+  size_t dim = 0;
+  size_t count = 0;
+  while (max_vectors == 0 || count < max_vectors) {
+    int32_t d = 0;
+    is.read(reinterpret_cast<char*>(&d), sizeof(d));
+    if (!is) break;
+    if (d <= 0) return Status::IoError("corrupt record header in " + path);
+    if (dim == 0) {
+      dim = static_cast<size_t>(d);
+    } else if (dim != static_cast<size_t>(d)) {
+      return Status::IoError("inconsistent dimensions in " + path);
+    }
+    std::vector<int32_t> buffer(dim);
+    is.read(reinterpret_cast<char*>(buffer.data()),
+            static_cast<std::streamsize>(dim * sizeof(int32_t)));
+    if (!is) return Status::IoError("truncated record in " + path);
+    values.insert(values.end(), buffer.begin(), buffer.end());
+    ++count;
+  }
+  if (count == 0) return Status::IoError("no vectors found in " + path);
+  return Matrix<int32_t>(count, dim, std::move(values));
+}
+
+Status WriteFvecs(const std::string& path, const FloatMatrix& data) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return Status::IoError("cannot open " + path + " for writing");
+  const int32_t d = static_cast<int32_t>(data.cols());
+  for (size_t r = 0; r < data.rows(); ++r) {
+    os.write(reinterpret_cast<const char*>(&d), sizeof(d));
+    os.write(reinterpret_cast<const char*>(data.row(r)),
+             static_cast<std::streamsize>(data.cols() * sizeof(float)));
+  }
+  if (!os) return Status::IoError("write failure on " + path);
+  return Status::OK();
+}
+
+Status WriteIvecs(const std::string& path, const Matrix<int32_t>& data) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return Status::IoError("cannot open " + path + " for writing");
+  const int32_t d = static_cast<int32_t>(data.cols());
+  for (size_t r = 0; r < data.rows(); ++r) {
+    os.write(reinterpret_cast<const char*>(&d), sizeof(d));
+    os.write(reinterpret_cast<const char*>(data.row(r)),
+             static_cast<std::streamsize>(data.cols() * sizeof(int32_t)));
+  }
+  if (!os) return Status::IoError("write failure on " + path);
+  return Status::OK();
+}
+
+}  // namespace vaq

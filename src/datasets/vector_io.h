@@ -1,0 +1,30 @@
+#ifndef VAQ_DATASETS_VECTOR_IO_H_
+#define VAQ_DATASETS_VECTOR_IO_H_
+
+#include <string>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace vaq {
+
+/// Readers/writers for the TEXMEX vector formats so the real SIFT/DEEP
+/// corpora can be dropped in place of the synthetic generators:
+///   .fvecs — per vector: int32 dim, then dim float32 values;
+///   .bvecs — per vector: int32 dim, then dim uint8 values;
+///   .ivecs — per vector: int32 dim, then dim int32 values.
+
+/// Loads at most `max_vectors` vectors (0 = all).
+Result<FloatMatrix> ReadFvecs(const std::string& path,
+                              size_t max_vectors = 0);
+Result<FloatMatrix> ReadBvecs(const std::string& path,
+                              size_t max_vectors = 0);
+Result<Matrix<int32_t>> ReadIvecs(const std::string& path,
+                                  size_t max_vectors = 0);
+
+Status WriteFvecs(const std::string& path, const FloatMatrix& data);
+Status WriteIvecs(const std::string& path, const Matrix<int32_t>& data);
+
+}  // namespace vaq
+
+#endif  // VAQ_DATASETS_VECTOR_IO_H_

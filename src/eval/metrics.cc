@@ -1,0 +1,72 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/macros.h"
+
+namespace vaq {
+namespace {
+
+std::unordered_set<int64_t> ExactIdSet(const std::vector<Neighbor>& exact,
+                                       size_t k) {
+  std::unordered_set<int64_t> ids;
+  const size_t limit = std::min(k, exact.size());
+  for (size_t i = 0; i < limit; ++i) ids.insert(exact[i].id);
+  return ids;
+}
+
+}  // namespace
+
+double RecallSingle(const std::vector<Neighbor>& returned,
+                    const std::vector<Neighbor>& exact, size_t k) {
+  VAQ_CHECK(k > 0);
+  const std::unordered_set<int64_t> truth = ExactIdSet(exact, k);
+  size_t hits = 0;
+  for (const Neighbor& nb : returned) {
+    if (truth.count(nb.id) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double AveragePrecisionSingle(const std::vector<Neighbor>& returned,
+                              const std::vector<Neighbor>& exact, size_t k) {
+  VAQ_CHECK(k > 0);
+  const std::unordered_set<int64_t> truth = ExactIdSet(exact, k);
+  size_t hits = 0;
+  double ap = 0.0;
+  const size_t limit = std::min(returned.size(), k);
+  for (size_t r = 0; r < limit; ++r) {
+    if (truth.count(returned[r].id) > 0) {
+      ++hits;
+      // P(r) with rel(r) == 1.
+      ap += static_cast<double>(hits) / static_cast<double>(r + 1);
+    }
+  }
+  return ap / static_cast<double>(k);
+}
+
+double Recall(const std::vector<std::vector<Neighbor>>& returned,
+              const std::vector<std::vector<Neighbor>>& exact, size_t k) {
+  VAQ_CHECK(returned.size() == exact.size());
+  if (returned.empty()) return 0.0;
+  double acc = 0.0;
+  for (size_t q = 0; q < returned.size(); ++q) {
+    acc += RecallSingle(returned[q], exact[q], k);
+  }
+  return acc / static_cast<double>(returned.size());
+}
+
+double MeanAveragePrecision(
+    const std::vector<std::vector<Neighbor>>& returned,
+    const std::vector<std::vector<Neighbor>>& exact, size_t k) {
+  VAQ_CHECK(returned.size() == exact.size());
+  if (returned.empty()) return 0.0;
+  double acc = 0.0;
+  for (size_t q = 0; q < returned.size(); ++q) {
+    acc += AveragePrecisionSingle(returned[q], exact[q], k);
+  }
+  return acc / static_cast<double>(returned.size());
+}
+
+}  // namespace vaq

@@ -1,0 +1,32 @@
+#ifndef VAQ_EVAL_METRICS_H_
+#define VAQ_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "common/topk.h"
+
+namespace vaq {
+
+/// Recall for one query (Section IV "Evaluation Measures"): fraction of
+/// the `k` exact neighbors present anywhere in the returned list.
+double RecallSingle(const std::vector<Neighbor>& returned,
+                    const std::vector<Neighbor>& exact, size_t k);
+
+/// Average precision for one query: AP = sum_r P(r) * rel(r) / k, where
+/// P(r) is the precision among the first r returned items and rel(r) is 1
+/// iff the r-th returned item is one of the k exact neighbors.
+double AveragePrecisionSingle(const std::vector<Neighbor>& returned,
+                              const std::vector<Neighbor>& exact, size_t k);
+
+/// Workload-level Recall: mean of RecallSingle over queries.
+double Recall(const std::vector<std::vector<Neighbor>>& returned,
+              const std::vector<std::vector<Neighbor>>& exact, size_t k);
+
+/// Workload-level MAP: mean of AveragePrecisionSingle over queries.
+double MeanAveragePrecision(
+    const std::vector<std::vector<Neighbor>>& returned,
+    const std::vector<std::vector<Neighbor>>& exact, size_t k);
+
+}  // namespace vaq
+
+#endif  // VAQ_EVAL_METRICS_H_

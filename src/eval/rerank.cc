@@ -1,0 +1,26 @@
+#include "eval/rerank.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace vaq {
+
+std::vector<Neighbor> RerankWithOriginal(
+    const FloatMatrix& base, const float* query,
+    const std::vector<Neighbor>& candidates, size_t k) {
+  VAQ_CHECK(k > 0);
+  TopKHeap heap(k);
+  for (const Neighbor& candidate : candidates) {
+    VAQ_DCHECK(candidate.id >= 0 &&
+               candidate.id < static_cast<int64_t>(base.rows()));
+    const float dist = SquaredL2(
+        query, base.row(static_cast<size_t>(candidate.id)), base.cols());
+    heap.Push(dist, candidate.id);
+  }
+  std::vector<Neighbor> out = heap.TakeSorted();
+  for (Neighbor& nb : out) nb.distance = std::sqrt(std::max(0.f, nb.distance));
+  return out;
+}
+
+}  // namespace vaq

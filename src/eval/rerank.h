@@ -1,0 +1,23 @@
+#ifndef VAQ_EVAL_RERANK_H_
+#define VAQ_EVAL_RERANK_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/topk.h"
+
+namespace vaq {
+
+/// Exact re-ranking over the original vectors (Section V-E methodology:
+/// "we vary the retrieved neighbors ... and re-rank the neighbors using
+/// the original data"). Takes the candidate list produced by any
+/// approximate method, recomputes exact Euclidean distances against
+/// `base`, and returns the best `k` (ascending, non-squared distances).
+std::vector<Neighbor> RerankWithOriginal(const FloatMatrix& base,
+                                         const float* query,
+                                         const std::vector<Neighbor>& candidates,
+                                         size_t k);
+
+}  // namespace vaq
+
+#endif  // VAQ_EVAL_RERANK_H_

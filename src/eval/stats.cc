@@ -1,0 +1,186 @@
+#include "eval/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace vaq {
+namespace {
+
+/// Regularized upper incomplete gamma Q(a, x), by series or continued
+/// fraction (Numerical Recipes style); drives the chi-squared p-value.
+double GammaQ(double a, double x) {
+  if (x < 0.0 || a <= 0.0) return 1.0;
+  if (x == 0.0) return 1.0;
+  const double gln = std::lgamma(a);
+  if (x < a + 1.0) {
+    // Series for P(a, x); Q = 1 - P.
+    double ap = a;
+    double sum = 1.0 / a;
+    double del = sum;
+    for (int i = 0; i < 500; ++i) {
+      ap += 1.0;
+      del *= x / ap;
+      sum += del;
+      if (std::fabs(del) < std::fabs(sum) * 1e-14) break;
+    }
+    const double p = sum * std::exp(-x + a * std::log(x) - gln);
+    return std::clamp(1.0 - p, 0.0, 1.0);
+  }
+  // Continued fraction for Q(a, x).
+  double b = x + 1.0 - a;
+  double c = 1e300;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < 1e-300) d = 1e-300;
+    c = b + an / c;
+    if (std::fabs(c) < 1e-300) c = 1e-300;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-14) break;
+  }
+  const double q = std::exp(-x + a * std::log(x) - gln) * h;
+  return std::clamp(q, 0.0, 1.0);
+}
+
+/// Average ranks for values sorted by a comparator; ties share ranks.
+std::vector<double> AverageRanks(const std::vector<double>& values,
+                                 bool descending) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return descending ? values[a] > values[b] : values[a] < values[b];
+  });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double avg_rank = 0.5 * (static_cast<double>(i + 1) +
+                                   static_cast<double>(j + 1));
+    for (size_t t = i; t <= j; ++t) ranks[order[t]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double NormalSf(double z) { return 0.5 * std::erfc(z / std::sqrt(2.0)); }
+
+double ChiSquaredSf(double x, double dof) { return GammaQ(dof / 2.0, x / 2.0); }
+
+std::vector<double> RankDescending(const std::vector<double>& values) {
+  return AverageRanks(values, /*descending=*/true);
+}
+
+Result<WilcoxonResult> WilcoxonSignedRank(const std::vector<double>& a,
+                                          const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("paired samples must have equal length");
+  }
+  // Non-zero differences with |diff| magnitudes ranked ascending.
+  std::vector<double> diffs;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    if (d != 0.0) diffs.push_back(d);
+  }
+  WilcoxonResult out;
+  out.effective_n = diffs.size();
+  if (diffs.size() < 5) {
+    return Status::InvalidArgument(
+        "need at least 5 non-zero differences for the normal approximation");
+  }
+  std::vector<double> abs_diffs(diffs.size());
+  for (size_t i = 0; i < diffs.size(); ++i) abs_diffs[i] = std::fabs(diffs[i]);
+  const std::vector<double> ranks = AverageRanks(abs_diffs, false);
+
+  double w_plus = 0.0, w_minus = 0.0;
+  for (size_t i = 0; i < diffs.size(); ++i) {
+    if (diffs[i] > 0.0) {
+      w_plus += ranks[i];
+    } else {
+      w_minus += ranks[i];
+    }
+  }
+  const double n = static_cast<double>(diffs.size());
+  out.statistic = std::min(w_plus, w_minus);
+  const double mean = n * (n + 1.0) / 4.0;
+  // Tie correction to the variance.
+  double tie_term = 0.0;
+  {
+    std::vector<double> sorted = abs_diffs;
+    std::sort(sorted.begin(), sorted.end());
+    size_t i = 0;
+    while (i < sorted.size()) {
+      size_t j = i;
+      while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+      const double t = static_cast<double>(j - i + 1);
+      tie_term += t * t * t - t;
+      i = j + 1;
+    }
+  }
+  const double var =
+      n * (n + 1.0) * (2.0 * n + 1.0) / 24.0 - tie_term / 48.0;
+  if (var <= 0.0) {
+    return Status::InvalidArgument("degenerate sample (all values tied)");
+  }
+  // Continuity correction of 0.5 toward the mean.
+  out.z = (out.statistic - mean + 0.5) / std::sqrt(var);
+  out.p_value = std::clamp(2.0 * NormalSf(std::fabs(out.z)), 0.0, 1.0);
+  return out;
+}
+
+Result<FriedmanResult> FriedmanTest(const DoubleMatrix& scores) {
+  const size_t n = scores.rows();  // datasets
+  const size_t k = scores.cols();  // methods
+  if (n < 2 || k < 2) {
+    return Status::InvalidArgument(
+        "Friedman test needs >= 2 datasets and >= 2 methods");
+  }
+  FriedmanResult out;
+  out.average_ranks.assign(k, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> row(scores.row(i), scores.row(i) + k);
+    const std::vector<double> ranks = RankDescending(row);
+    for (size_t j = 0; j < k; ++j) out.average_ranks[j] += ranks[j];
+  }
+  for (double& r : out.average_ranks) r /= static_cast<double>(n);
+
+  double sum_r2 = 0.0;
+  for (double r : out.average_ranks) sum_r2 += r * r;
+  const double nn = static_cast<double>(n);
+  const double kk = static_cast<double>(k);
+  out.chi_squared =
+      12.0 * nn / (kk * (kk + 1.0)) *
+      (sum_r2 - kk * (kk + 1.0) * (kk + 1.0) / 4.0);
+  out.p_value = ChiSquaredSf(out.chi_squared, kk - 1.0);
+  return out;
+}
+
+Result<double> NemenyiCriticalDifference(size_t num_methods,
+                                         size_t num_datasets) {
+  // Studentized range statistic q_{0.05} / sqrt(2) for k = 2..20
+  // (Demsar 2006, Table 5).
+  static constexpr double kQ05[] = {
+      0.0,   0.0,   1.960, 2.343, 2.569, 2.728, 2.850, 2.949, 3.031, 3.102,
+      3.164, 3.219, 3.268, 3.313, 3.354, 3.391, 3.426, 3.458, 3.489, 3.517,
+      3.544};
+  if (num_methods < 2 || num_methods > 20) {
+    return Status::InvalidArgument("Nemenyi table covers 2..20 methods");
+  }
+  if (num_datasets < 2) {
+    return Status::InvalidArgument("need >= 2 datasets");
+  }
+  const double k = static_cast<double>(num_methods);
+  const double n = static_cast<double>(num_datasets);
+  return kQ05[num_methods] * std::sqrt(k * (k + 1.0) / (6.0 * n));
+}
+
+}  // namespace vaq

@@ -1,0 +1,57 @@
+#ifndef VAQ_EVAL_STATS_H_
+#define VAQ_EVAL_STATS_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace vaq {
+
+/// Statistical machinery for the multi-dataset comparisons of Section V-D
+/// (Table II, Figure 10): Wilcoxon signed-rank for pairs of methods,
+/// Friedman + post-hoc Nemenyi for several methods at once.
+
+struct WilcoxonResult {
+  double statistic = 0.0;  ///< W (smaller of the signed-rank sums)
+  double z = 0.0;          ///< normal approximation z-score
+  double p_value = 1.0;    ///< two-sided
+  size_t effective_n = 0;  ///< pairs with non-zero difference
+};
+
+/// Wilcoxon signed-rank test over paired scores (e.g. per-dataset recall of
+/// two methods). Uses the normal approximation with tie correction, which
+/// is accurate for the paper's n = 128 datasets. Requires >= 5 non-zero
+/// differences to produce a meaningful p-value.
+Result<WilcoxonResult> WilcoxonSignedRank(const std::vector<double>& a,
+                                          const std::vector<double>& b);
+
+struct FriedmanResult {
+  double chi_squared = 0.0;
+  double p_value = 1.0;
+  /// Average rank of each method across datasets (rank 1 = best score).
+  std::vector<double> average_ranks;
+};
+
+/// Friedman test on a (datasets x methods) score matrix where HIGHER
+/// scores are better (recall/MAP). Ties share average ranks.
+Result<FriedmanResult> FriedmanTest(const DoubleMatrix& scores);
+
+/// Critical difference of the post-hoc Nemenyi test at 95% confidence:
+/// two methods differ significantly if their average ranks differ by more
+/// than this. Supports 2..20 methods.
+Result<double> NemenyiCriticalDifference(size_t num_methods,
+                                         size_t num_datasets);
+
+/// Ranks `values` descending (best = rank 1), ties get average ranks.
+std::vector<double> RankDescending(const std::vector<double>& values);
+
+/// Standard normal upper-tail survival function.
+double NormalSf(double z);
+
+/// Chi-squared upper-tail survival function with `dof` degrees of freedom.
+double ChiSquaredSf(double x, double dof);
+
+}  // namespace vaq
+
+#endif  // VAQ_EVAL_STATS_H_

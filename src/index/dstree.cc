@@ -1,0 +1,216 @@
+#include "index/dstree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/macros.h"
+
+namespace vaq {
+
+size_t DsTreeIndex::SegmentLength(size_t s) const {
+  const size_t d = data_.cols();
+  const size_t w = options_.num_segments;
+  return (s + 1) * d / w - s * d / w;
+}
+
+void DsTreeIndex::SegmentStats(const float* series, std::vector<float>* means,
+                               std::vector<float>* stds) const {
+  const size_t d = data_.cols();
+  const size_t w = options_.num_segments;
+  means->resize(w);
+  stds->resize(w);
+  for (size_t s = 0; s < w; ++s) {
+    const size_t begin = s * d / w;
+    const size_t end = (s + 1) * d / w;
+    const size_t len = end - begin;
+    double mean = 0.0;
+    for (size_t i = begin; i < end; ++i) mean += series[i];
+    mean /= static_cast<double>(len);
+    double var = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      const double diff = series[i] - mean;
+      var += diff * diff;
+    }
+    var /= static_cast<double>(len);
+    (*means)[s] = static_cast<float>(mean);
+    (*stds)[s] = static_cast<float>(std::sqrt(std::max(0.0, var)));
+  }
+}
+
+float DsTreeIndex::LowerBoundSq(const std::vector<float>& q_means,
+                                const std::vector<float>& q_stds,
+                                const Synopsis& synopsis) const {
+  // EAPCA bound: for series x in the node,
+  //   ||q_s - x_s||^2 >= len_s * ((mu_q - mu_x)^2 + (sigma_q - sigma_x)^2)
+  // and (mu_x, sigma_x) lie inside the node's ranges.
+  float acc = 0.f;
+  for (size_t s = 0; s < options_.num_segments; ++s) {
+    float dmu = 0.f;
+    if (q_means[s] < synopsis.mean_lo[s]) {
+      dmu = synopsis.mean_lo[s] - q_means[s];
+    } else if (q_means[s] > synopsis.mean_hi[s]) {
+      dmu = q_means[s] - synopsis.mean_hi[s];
+    }
+    float dsd = 0.f;
+    if (q_stds[s] < synopsis.std_lo[s]) {
+      dsd = synopsis.std_lo[s] - q_stds[s];
+    } else if (q_stds[s] > synopsis.std_hi[s]) {
+      dsd = q_stds[s] - synopsis.std_hi[s];
+    }
+    acc += static_cast<float>(SegmentLength(s)) * (dmu * dmu + dsd * dsd);
+  }
+  return acc;
+}
+
+void DsTreeIndex::UpdateSynopsis(Node* node, uint32_t id) {
+  const auto& means = means_cache_[id];
+  const auto& stds = stds_cache_[id];
+  auto& syn = node->synopsis;
+  if (syn.mean_lo.empty()) {
+    syn.mean_lo = means;
+    syn.mean_hi = means;
+    syn.std_lo = stds;
+    syn.std_hi = stds;
+    return;
+  }
+  for (size_t s = 0; s < options_.num_segments; ++s) {
+    syn.mean_lo[s] = std::min(syn.mean_lo[s], means[s]);
+    syn.mean_hi[s] = std::max(syn.mean_hi[s], means[s]);
+    syn.std_lo[s] = std::min(syn.std_lo[s], stds[s]);
+    syn.std_hi[s] = std::max(syn.std_hi[s], stds[s]);
+  }
+}
+
+void DsTreeIndex::SplitLeaf(Node* node) {
+  // Pick the (segment, mean|std) dimension with the widest payload spread
+  // weighted by segment length; threshold at the midpoint.
+  size_t best_segment = 0;
+  bool best_on_std = false;
+  float best_score = -1.f;
+  const auto& syn = node->synopsis;
+  for (size_t s = 0; s < options_.num_segments; ++s) {
+    const float len = static_cast<float>(SegmentLength(s));
+    const float mean_spread = (syn.mean_hi[s] - syn.mean_lo[s]) * len;
+    const float std_spread = (syn.std_hi[s] - syn.std_lo[s]) * len;
+    if (mean_spread > best_score) {
+      best_score = mean_spread;
+      best_segment = s;
+      best_on_std = false;
+    }
+    if (std_spread > best_score) {
+      best_score = std_spread;
+      best_segment = s;
+      best_on_std = true;
+    }
+  }
+  if (best_score <= 0.f) return;  // all members identical: oversized leaf
+
+  node->split_segment = best_segment;
+  node->split_on_std = best_on_std;
+  node->split_value =
+      best_on_std
+          ? 0.5f * (syn.std_lo[best_segment] + syn.std_hi[best_segment])
+          : 0.5f * (syn.mean_lo[best_segment] + syn.mean_hi[best_segment]);
+  node->is_leaf = false;
+  node->left = std::make_unique<Node>();
+  node->right = std::make_unique<Node>();
+  num_leaves_ += 1;
+
+  for (uint32_t id : node->ids) {
+    const float v = node->split_on_std ? stds_cache_[id][best_segment]
+                                       : means_cache_[id][best_segment];
+    Node* child =
+        v <= node->split_value ? node->left.get() : node->right.get();
+    child->ids.push_back(id);
+    UpdateSynopsis(child, id);
+  }
+  node->ids.clear();
+  node->ids.shrink_to_fit();
+}
+
+void DsTreeIndex::Insert(Node* node, uint32_t id) {
+  while (!node->is_leaf) {
+    UpdateSynopsis(node, id);
+    const float v = node->split_on_std
+                        ? stds_cache_[id][node->split_segment]
+                        : means_cache_[id][node->split_segment];
+    node = v <= node->split_value ? node->left.get() : node->right.get();
+  }
+  UpdateSynopsis(node, id);
+  node->ids.push_back(id);
+  if (node->ids.size() > options_.leaf_capacity) {
+    SplitLeaf(node);
+  }
+}
+
+Status DsTreeIndex::Build(const FloatMatrix& data,
+                          const DsTreeOptions& options) {
+  if (data.rows() == 0) return Status::InvalidArgument("empty dataset");
+  if (options.num_segments == 0 || options.num_segments > data.cols()) {
+    return Status::InvalidArgument("num_segments must be in [1, dim]");
+  }
+  options_ = options;
+  data_ = data;
+  root_ = std::make_unique<Node>();
+  num_leaves_ = 1;
+
+  means_cache_.resize(data.rows());
+  stds_cache_.resize(data.rows());
+  for (size_t r = 0; r < data.rows(); ++r) {
+    SegmentStats(data.row(r), &means_cache_[r], &stds_cache_[r]);
+  }
+  for (size_t r = 0; r < data.rows(); ++r) {
+    Insert(root_.get(), static_cast<uint32_t>(r));
+  }
+  return Status::OK();
+}
+
+Status DsTreeIndex::Search(const float* query, size_t k, size_t max_leaves,
+                           double epsilon, std::vector<Neighbor>* out) const {
+  if (!root_) return Status::FailedPrecondition("index is not built");
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (epsilon < 0.0) return Status::InvalidArgument("epsilon must be >= 0");
+
+  std::vector<float> q_means, q_stds;
+  SegmentStats(query, &q_means, &q_stds);
+
+  struct Entry {
+    float bound;
+    const Node* node;
+    bool operator>(const Entry& other) const { return bound > other.bound; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  queue.push({0.f, root_.get()});
+
+  TopKHeap heap(k);
+  const double prune_factor = 1.0 / ((1.0 + epsilon) * (1.0 + epsilon));
+  size_t visited_leaves = 0;
+  while (!queue.empty()) {
+    const Entry entry = queue.top();
+    queue.pop();
+    if (heap.full() && entry.bound >= heap.Threshold() * prune_factor) {
+      break;
+    }
+    if (entry.node->is_leaf) {
+      for (uint32_t id : entry.node->ids) {
+        heap.Push(SquaredL2(query, data_.row(id), data_.cols()),
+                  static_cast<int64_t>(id));
+      }
+      ++visited_leaves;
+      if (max_leaves > 0 && visited_leaves >= max_leaves) break;
+    } else {
+      queue.push({LowerBoundSq(q_means, q_stds, entry.node->left->synopsis),
+                  entry.node->left.get()});
+      queue.push({LowerBoundSq(q_means, q_stds, entry.node->right->synopsis),
+                  entry.node->right.get()});
+    }
+  }
+
+  *out = heap.TakeSorted();
+  for (Neighbor& nb : *out) nb.distance = std::sqrt(std::max(0.f, nb.distance));
+  return Status::OK();
+}
+
+}  // namespace vaq

@@ -1,0 +1,78 @@
+#ifndef VAQ_INDEX_DSTREE_H_
+#define VAQ_INDEX_DSTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+#include "common/topk.h"
+
+namespace vaq {
+
+struct DsTreeOptions {
+  /// Number of EAPCA segments per node.
+  size_t num_segments = 8;
+  /// Leaf capacity before a split.
+  size_t leaf_capacity = 256;
+};
+
+/// DSTree-style index (Wang et al., VLDB 2013) — the second data-series
+/// index of Figure 11.
+///
+/// Each node summarizes its series by per-segment (mean, stddev) ranges
+/// (the EAPCA synopsis). Splits threshold the mean or the stddev of the
+/// segment that best separates the payload; the per-segment ranges give
+/// the lower bound  LB^2 = sum_s len_s * (dist(mu_q, [mu range])^2 +
+/// dist(sigma_q, [sigma range])^2)  used for best-first traversal. Like
+/// IsaxIndex, `max_leaves` caps leaf visits (NG variant) and `epsilon`
+/// relaxes pruning.
+class DsTreeIndex {
+ public:
+  DsTreeIndex() = default;
+
+  Status Build(const FloatMatrix& data, const DsTreeOptions& options);
+
+  size_t size() const { return data_.rows(); }
+  size_t num_leaves() const { return num_leaves_; }
+
+  Status Search(const float* query, size_t k, size_t max_leaves,
+                double epsilon, std::vector<Neighbor>* out) const;
+
+ private:
+  struct Synopsis {
+    std::vector<float> mean_lo, mean_hi, std_lo, std_hi;
+  };
+  struct Node {
+    Synopsis synopsis;
+    std::vector<uint32_t> ids;
+    std::unique_ptr<Node> left, right;
+    size_t split_segment = 0;
+    bool split_on_std = false;
+    float split_value = 0.f;
+    bool is_leaf = true;
+  };
+
+  void SegmentStats(const float* series, std::vector<float>* means,
+                    std::vector<float>* stds) const;
+  float LowerBoundSq(const std::vector<float>& q_means,
+                     const std::vector<float>& q_stds,
+                     const Synopsis& synopsis) const;
+  void UpdateSynopsis(Node* node, uint32_t id);
+  void Insert(Node* node, uint32_t id);
+  void SplitLeaf(Node* node);
+  size_t SegmentLength(size_t s) const;
+
+  DsTreeOptions options_;
+  FloatMatrix data_;
+  /// Cached per-series segment means and stddevs.
+  std::vector<std::vector<float>> means_cache_;
+  std::vector<std::vector<float>> stds_cache_;
+  std::unique_ptr<Node> root_;
+  size_t num_leaves_ = 0;
+};
+
+}  // namespace vaq
+
+#endif  // VAQ_INDEX_DSTREE_H_

@@ -1,0 +1,226 @@
+#include "index/hnsw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/rng.h"
+
+namespace vaq {
+
+void HnswIndex::SearchLayer(const float* query, uint32_t entry,
+                            float entry_dist, int level, size_t ef,
+                            std::vector<Candidate>* results) const {
+  // Visited-set bookkeeping via an epoch array (no per-query allocation).
+  ++epoch_;
+  if (epoch_ == 0) {  // wrapped: reset
+    std::fill(visit_epoch_.begin(), visit_epoch_.end(), 0u);
+    epoch_ = 1;
+  }
+  visit_epoch_[entry] = epoch_;
+
+  // candidates: min-heap by distance; results: max-heap of the best ef.
+  std::priority_queue<Candidate, std::vector<Candidate>,
+                      std::greater<Candidate>>
+      candidates;
+  std::priority_queue<Candidate> best;
+  candidates.push({entry_dist, entry});
+  best.push({entry_dist, entry});
+
+  while (!candidates.empty()) {
+    const Candidate current = candidates.top();
+    if (current.distance > best.top().distance && best.size() >= ef) break;
+    candidates.pop();
+    for (uint32_t nb : Links(current.id, level)) {
+      if (visit_epoch_[nb] == epoch_) continue;
+      visit_epoch_[nb] = epoch_;
+      const float dist = Distance(query, nb);
+      if (best.size() < ef || dist < best.top().distance) {
+        candidates.push({dist, nb});
+        best.push({dist, nb});
+        if (best.size() > ef) best.pop();
+      }
+    }
+  }
+  results->clear();
+  results->reserve(best.size());
+  while (!best.empty()) {
+    results->push_back(best.top());
+    best.pop();
+  }
+}
+
+void HnswIndex::SelectNeighbors(const float* base,
+                                std::vector<Candidate>* candidates,
+                                size_t m) const {
+  (void)base;
+  std::sort(candidates->begin(), candidates->end());
+  if (candidates->size() <= m) return;
+  // Diversity heuristic: keep a candidate only if no already-kept neighbor
+  // is closer to it than the candidate is to the base point.
+  std::vector<Candidate> kept;
+  kept.reserve(m);
+  for (const Candidate& cand : *candidates) {
+    if (kept.size() >= m) break;
+    bool diverse = true;
+    for (const Candidate& existing : kept) {
+      const float between =
+          SquaredL2(data_.row(cand.id), data_.row(existing.id), data_.cols());
+      if (between < cand.distance) {
+        diverse = false;
+        break;
+      }
+    }
+    if (diverse) kept.push_back(cand);
+  }
+  // Backfill with the nearest pruned candidates if diversity left slots.
+  if (kept.size() < m) {
+    for (const Candidate& cand : *candidates) {
+      if (kept.size() >= m) break;
+      bool already = false;
+      for (const Candidate& existing : kept) {
+        if (existing.id == cand.id) {
+          already = true;
+          break;
+        }
+      }
+      if (!already) kept.push_back(cand);
+    }
+  }
+  *candidates = std::move(kept);
+}
+
+Status HnswIndex::Build(const FloatMatrix& data, const HnswOptions& options) {
+  if (data.rows() == 0) return Status::InvalidArgument("empty dataset");
+  if (options.m < 2) return Status::InvalidArgument("M must be >= 2");
+  options_ = options;
+  data_ = data;
+  const size_t n = data.rows();
+  links_.assign(n, {});
+  levels_.assign(n, 0);
+  visit_epoch_.assign(n, 0);
+  epoch_ = 0;
+  max_level_ = -1;
+
+  Rng rng(options.seed);
+  const double ml = 1.0 / std::log(static_cast<double>(options.m));
+  const size_t m0 = options.m * 2;
+
+  for (uint32_t id = 0; id < n; ++id) {
+    // Sample the node's top level.
+    double u = rng.NextDouble();
+    if (u <= 0.0) u = 1e-12;
+    const int level = static_cast<int>(-std::log(u) * ml);
+    levels_[id] = level;
+    links_[id].resize(level + 1);
+
+    if (max_level_ < 0) {  // first node
+      entry_point_ = id;
+      max_level_ = level;
+      continue;
+    }
+
+    const float* x = data_.row(id);
+    uint32_t entry = entry_point_;
+    float entry_dist = Distance(x, entry);
+
+    // Greedy descent through layers above the node's level.
+    for (int lc = max_level_; lc > level; --lc) {
+      bool improved = true;
+      while (improved) {
+        improved = false;
+        for (uint32_t nb : Links(entry, lc)) {
+          const float dist = Distance(x, nb);
+          if (dist < entry_dist) {
+            entry_dist = dist;
+            entry = nb;
+            improved = true;
+          }
+        }
+      }
+    }
+
+    // Insert at each layer from min(level, max_level_) down to 0.
+    std::vector<Candidate> found;
+    for (int lc = std::min(level, max_level_); lc >= 0; --lc) {
+      SearchLayer(x, entry, entry_dist, lc, options.ef_construction, &found);
+      std::vector<Candidate> neighbors = found;
+      const size_t cap = lc == 0 ? m0 : options.m;
+      SelectNeighbors(x, &neighbors, cap);
+
+      auto& own = Links(id, lc);
+      own.clear();
+      for (const Candidate& nb : neighbors) {
+        own.push_back(nb.id);
+        // Reciprocal link with degree shrink.
+        auto& theirs = Links(nb.id, lc);
+        theirs.push_back(id);
+        if (theirs.size() > cap) {
+          std::vector<Candidate> pruned;
+          pruned.reserve(theirs.size());
+          const float* base = data_.row(nb.id);
+          for (uint32_t t : theirs) {
+            pruned.push_back({Distance(base, t), t});
+          }
+          SelectNeighbors(base, &pruned, cap);
+          theirs.clear();
+          for (const Candidate& c : pruned) theirs.push_back(c.id);
+        }
+      }
+      // Continue descending from the best found candidate.
+      if (!found.empty()) {
+        const auto best =
+            std::min_element(found.begin(), found.end());
+        entry = best->id;
+        entry_dist = best->distance;
+      }
+    }
+
+    if (level > max_level_) {
+      max_level_ = level;
+      entry_point_ = id;
+    }
+  }
+  return Status::OK();
+}
+
+Status HnswIndex::Search(const float* query, size_t k, size_t ef,
+                         std::vector<Neighbor>* out) const {
+  if (data_.rows() == 0) {
+    return Status::FailedPrecondition("HNSW index is empty");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (ef == 0) ef = options_.ef_search;
+  ef = std::max(ef, k);
+
+  uint32_t entry = entry_point_;
+  float entry_dist = Distance(query, entry);
+  for (int lc = max_level_; lc > 0; --lc) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (uint32_t nb : Links(entry, lc)) {
+        const float dist = Distance(query, nb);
+        if (dist < entry_dist) {
+          entry_dist = dist;
+          entry = nb;
+          improved = true;
+        }
+      }
+    }
+  }
+
+  std::vector<Candidate> found;
+  SearchLayer(query, entry, entry_dist, 0, ef, &found);
+  std::sort(found.begin(), found.end());
+  out->clear();
+  const size_t limit = std::min(k, found.size());
+  out->reserve(limit);
+  for (size_t i = 0; i < limit; ++i) {
+    out->push_back({std::sqrt(std::max(0.f, found[i].distance)),
+                    static_cast<int64_t>(found[i].id)});
+  }
+  return Status::OK();
+}
+
+}  // namespace vaq

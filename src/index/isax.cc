@@ -1,0 +1,256 @@
+#include "index/isax.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/macros.h"
+
+namespace vaq {
+namespace {
+
+/// Inverse standard normal CDF (Acklam's rational approximation, ~1e-9
+/// absolute error) — generates the SAX breakpoints at any cardinality.
+double InverseNormalCdf(double p) {
+  VAQ_DCHECK(p > 0.0 && p < 1.0);
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - plow) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+constexpr float kInf = 3.0e38f;
+
+}  // namespace
+
+float IsaxIndex::Breakpoint(size_t bits, size_t index) const {
+  const size_t card = size_t{1} << bits;
+  if (index == 0) return -kInf;
+  if (index >= card) return kInf;
+  return static_cast<float>(InverseNormalCdf(
+      static_cast<double>(index) / static_cast<double>(card)));
+}
+
+uint16_t IsaxIndex::Symbol(float value, size_t bits) const {
+  // Binary search over the 2^bits regions.
+  size_t lo = 0, hi = (size_t{1} << bits) - 1;
+  while (lo < hi) {
+    const size_t mid = (lo + hi + 1) / 2;
+    if (value >= Breakpoint(bits, mid)) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return static_cast<uint16_t>(lo);
+}
+
+void IsaxIndex::Paa(const float* series, std::vector<float>* out) const {
+  const size_t w = options_.word_length;
+  out->resize(w);
+  const size_t d = data_.cols();
+  for (size_t s = 0; s < w; ++s) {
+    const size_t begin = s * d / w;
+    const size_t end = (s + 1) * d / w;
+    double acc = 0.0;
+    for (size_t i = begin; i < end; ++i) acc += series[i];
+    (*out)[s] = static_cast<float>(acc / std::max<size_t>(1, end - begin));
+  }
+}
+
+float IsaxIndex::MinDistSq(const std::vector<float>& query_paa,
+                           const Node& node) const {
+  const size_t w = options_.word_length;
+  const size_t d = data_.cols();
+  float acc = 0.f;
+  for (size_t s = 0; s < w; ++s) {
+    if (node.bits[s] == 0) continue;  // unconstrained segment
+    const float lo = Breakpoint(node.bits[s], node.symbols[s]);
+    const float hi = Breakpoint(node.bits[s], node.symbols[s] + 1);
+    const float q = query_paa[s];
+    float gap = 0.f;
+    if (q < lo) {
+      gap = lo - q;
+    } else if (q > hi) {
+      gap = q - hi;
+    }
+    const size_t seg_len = (s + 1) * d / w - s * d / w;
+    acc += static_cast<float>(seg_len) * gap * gap;
+  }
+  return acc;
+}
+
+void IsaxIndex::SplitLeaf(Node* node) {
+  const size_t w = options_.word_length;
+  // Choose the segment with the smallest current resolution that can still
+  // be refined; ties are broken by the spread of member PAA values, so the
+  // split actually separates the payload.
+  size_t best = w;
+  double best_spread = -1.0;
+  uint8_t min_bits = 255;
+  for (size_t s = 0; s < w; ++s) {
+    if (node->bits[s] < min_bits &&
+        node->bits[s] < options_.max_bits) {
+      min_bits = node->bits[s];
+    }
+  }
+  for (size_t s = 0; s < w; ++s) {
+    if (node->bits[s] != min_bits || node->bits[s] >= options_.max_bits) {
+      continue;
+    }
+    double lo = 1e300, hi = -1e300;
+    for (uint32_t id : node->ids) {
+      const double v = paa_cache_[id][s];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi - lo > best_spread) {
+      best_spread = hi - lo;
+      best = s;
+    }
+  }
+  if (best == w) return;  // every segment at max resolution: oversized leaf
+
+  node->is_leaf = false;
+  node->split_segment = best;
+  node->left = std::make_unique<Node>();
+  node->right = std::make_unique<Node>();
+  for (Node* child : {node->left.get(), node->right.get()}) {
+    child->symbols = node->symbols;
+    child->bits = node->bits;
+    child->bits[best] += 1;
+  }
+  node->left->symbols[best] = static_cast<uint16_t>(node->symbols[best] << 1);
+  node->right->symbols[best] =
+      static_cast<uint16_t>((node->symbols[best] << 1) | 1);
+  num_leaves_ += 1;  // one leaf became two
+
+  const size_t new_bits = node->left->bits[best];
+  for (uint32_t id : node->ids) {
+    const uint16_t sym = Symbol(paa_cache_[id][best], new_bits);
+    if (sym == node->left->symbols[best]) {
+      node->left->ids.push_back(id);
+    } else {
+      node->right->ids.push_back(id);
+    }
+  }
+  node->ids.clear();
+  node->ids.shrink_to_fit();
+}
+
+void IsaxIndex::Insert(Node* node, uint32_t id, const std::vector<float>& paa,
+                       size_t depth) {
+  while (!node->is_leaf) {
+    const size_t s = node->split_segment;
+    const uint16_t sym = Symbol(paa[s], node->left->bits[s]);
+    node = (sym == node->left->symbols[s]) ? node->left.get()
+                                           : node->right.get();
+    ++depth;
+  }
+  node->ids.push_back(id);
+  if (node->ids.size() > options_.leaf_capacity) {
+    SplitLeaf(node);
+  }
+}
+
+Status IsaxIndex::Build(const FloatMatrix& data, const IsaxOptions& options) {
+  if (data.rows() == 0) return Status::InvalidArgument("empty dataset");
+  if (options.word_length == 0 || options.word_length > data.cols()) {
+    return Status::InvalidArgument("word_length must be in [1, dim]");
+  }
+  if (options.max_bits == 0 || options.max_bits > 15) {
+    return Status::InvalidArgument("max_bits must be in [1, 15]");
+  }
+  options_ = options;
+  data_ = data;
+  segment_len_ = data.cols() / options.word_length;
+
+  root_ = std::make_unique<Node>();
+  root_->symbols.assign(options.word_length, 0);
+  root_->bits.assign(options.word_length, 0);
+  num_leaves_ = 1;
+
+  paa_cache_.resize(data.rows());
+  for (size_t r = 0; r < data.rows(); ++r) {
+    Paa(data.row(r), &paa_cache_[r]);
+  }
+  for (size_t r = 0; r < data.rows(); ++r) {
+    Insert(root_.get(), static_cast<uint32_t>(r), paa_cache_[r], 0);
+  }
+  return Status::OK();
+}
+
+Status IsaxIndex::Search(const float* query, size_t k, size_t max_leaves,
+                         double epsilon, std::vector<Neighbor>* out) const {
+  if (!root_) return Status::FailedPrecondition("index is not built");
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (epsilon < 0.0) return Status::InvalidArgument("epsilon must be >= 0");
+
+  std::vector<float> query_paa;
+  Paa(query, &query_paa);
+
+  struct Entry {
+    float bound;
+    const Node* node;
+    bool operator>(const Entry& other) const { return bound > other.bound; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  queue.push({0.f, root_.get()});
+
+  TopKHeap heap(k);
+  const double prune_factor = 1.0 / ((1.0 + epsilon) * (1.0 + epsilon));
+  size_t visited_leaves = 0;
+  while (!queue.empty()) {
+    const Entry entry = queue.top();
+    queue.pop();
+    if (heap.full() &&
+        entry.bound >= heap.Threshold() * prune_factor) {
+      break;  // best-first: all remaining bounds are at least this large
+    }
+    if (entry.node->is_leaf) {
+      for (uint32_t id : entry.node->ids) {
+        heap.Push(SquaredL2(query, data_.row(id), data_.cols()),
+                  static_cast<int64_t>(id));
+      }
+      ++visited_leaves;
+      if (max_leaves > 0 && visited_leaves >= max_leaves) break;
+    } else {
+      queue.push({MinDistSq(query_paa, *entry.node->left),
+                  entry.node->left.get()});
+      queue.push({MinDistSq(query_paa, *entry.node->right),
+                  entry.node->right.get()});
+    }
+  }
+
+  *out = heap.TakeSorted();
+  for (Neighbor& nb : *out) nb.distance = std::sqrt(std::max(0.f, nb.distance));
+  return Status::OK();
+}
+
+}  // namespace vaq

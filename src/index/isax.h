@@ -1,0 +1,79 @@
+#ifndef VAQ_INDEX_ISAX_H_
+#define VAQ_INDEX_ISAX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+#include "common/topk.h"
+
+namespace vaq {
+
+struct IsaxOptions {
+  /// PAA / SAX word length (number of segments).
+  size_t word_length = 16;
+  /// Maximum bits per symbol (cardinality up to 2^max_bits).
+  size_t max_bits = 8;
+  /// Leaf capacity before a split.
+  size_t leaf_capacity = 256;
+};
+
+/// iSAX2+-style tree index (Camerra et al., KAIS 2014) — one of the two
+/// scalable data-series indexes VAQ is compared against in Figure 11.
+///
+/// Series are summarized by PAA means and discretized into SAX symbols
+/// whose per-segment cardinality doubles on each split along a root-to-
+/// leaf path. Queries traverse nodes best-first by the MINDIST lower
+/// bound and scan leaves with exact distances over the raw data.
+/// The `max_leaves` budget gives the paper's NG (no-guarantee) behaviour;
+/// `epsilon > 0` gives the (1+epsilon)-bounded variant that prunes nodes
+/// whose lower bound exceeds bsf / (1 + epsilon).
+class IsaxIndex {
+ public:
+  IsaxIndex() = default;
+
+  Status Build(const FloatMatrix& data, const IsaxOptions& options);
+
+  size_t size() const { return data_.rows(); }
+  size_t num_leaves() const { return num_leaves_; }
+
+  /// Approximate k-NN. `max_leaves` = 0 means unlimited (exact search);
+  /// epsilon relaxes pruning for faster approximate answers.
+  Status Search(const float* query, size_t k, size_t max_leaves,
+                double epsilon, std::vector<Neighbor>* out) const;
+
+ private:
+  struct Node {
+    /// Per-segment symbol prefix and its bit width (cardinality = 2^bits).
+    std::vector<uint16_t> symbols;
+    std::vector<uint8_t> bits;
+    std::vector<uint32_t> ids;  ///< leaf payload
+    std::unique_ptr<Node> left, right;
+    size_t split_segment = 0;
+    bool is_leaf = true;
+  };
+
+  void Paa(const float* series, std::vector<float>* out) const;
+  /// Symbol of `value` at `bits` resolution (index into 2^bits regions).
+  uint16_t Symbol(float value, size_t bits) const;
+  /// Squared MINDIST lower bound between a query PAA and a node region.
+  float MinDistSq(const std::vector<float>& query_paa, const Node& node) const;
+  void Insert(Node* node, uint32_t id, const std::vector<float>& paa,
+              size_t depth);
+  void SplitLeaf(Node* node);
+  /// Breakpoint value b_i such that P(Z < b_i) = i / 2^bits.
+  float Breakpoint(size_t bits, size_t index) const;
+
+  IsaxOptions options_;
+  FloatMatrix data_;
+  std::vector<std::vector<float>> paa_cache_;
+  std::unique_ptr<Node> root_;
+  size_t num_leaves_ = 0;
+  size_t segment_len_ = 0;
+};
+
+}  // namespace vaq
+
+#endif  // VAQ_INDEX_ISAX_H_

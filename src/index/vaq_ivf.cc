@@ -1,0 +1,223 @@
+#include "index/vaq_ivf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <fstream>
+
+#include "common/io.h"
+#include "common/macros.h"
+#include "core/allocation.h"
+#include "core/balance.h"
+
+namespace vaq {
+
+Result<VaqIvfIndex> VaqIvfIndex::Train(const FloatMatrix& data,
+                                       const VaqIvfOptions& options) {
+  if (data.rows() < 2) {
+    return Status::InvalidArgument("training requires at least 2 vectors");
+  }
+  const VaqOptions& vopts = options.vaq;
+  if (vopts.num_subspaces == 0 || vopts.num_subspaces > data.cols()) {
+    return Status::InvalidArgument("num_subspaces must be in [1, dim]");
+  }
+  if (options.coarse_k == 0) {
+    return Status::InvalidArgument("coarse_k must be >= 1");
+  }
+
+  VaqIvfIndex index;
+  index.options_ = options;
+
+  // Same encoding pipeline as VaqIndex: VarPCA, subspaces, balancing,
+  // adaptive allocation, variable dictionaries.
+  Pca::Options pca_opts;
+  pca_opts.center = vopts.center_pca;
+  VAQ_RETURN_IF_ERROR(index.pca_.Fit(data, pca_opts));
+  const std::vector<double> variances = index.pca_.ExplainedVarianceRatio();
+
+  const size_t m = vopts.num_subspaces;
+  SubspaceLayout layout;
+  if (vopts.clustered_subspaces) {
+    VAQ_ASSIGN_OR_RETURN(layout, SubspaceLayout::Clustered(variances, m));
+    VAQ_RETURN_IF_ERROR(layout.RepairOrdering(variances));
+  } else {
+    VAQ_ASSIGN_OR_RETURN(layout, SubspaceLayout::Uniform(data.cols(), m));
+  }
+  const BalanceResult balance = vopts.partial_balance
+                                    ? PartialBalance(variances, layout)
+                                    : IdentityBalance(variances);
+  index.permutation_ = balance.permutation;
+  index.layout_ = layout;
+
+  const std::vector<double> subspace_vars =
+      layout.SubspaceVariances(balance.permuted_variances);
+  if (vopts.adaptive_allocation) {
+    AllocationOptions aopts;
+    aopts.total_bits = vopts.total_bits;
+    aopts.min_bits = vopts.min_bits;
+    aopts.max_bits = vopts.max_bits;
+    aopts.target_variance = vopts.target_variance;
+    VAQ_ASSIGN_OR_RETURN(Allocation alloc,
+                         AllocateBits(subspace_vars, aopts));
+    index.bits_ = alloc.bits;
+  } else {
+    index.bits_.assign(m, static_cast<int>(vopts.total_bits / m));
+    for (size_t i = 0; i < vopts.total_bits % m; ++i) ++index.bits_[i];
+  }
+
+  VAQ_ASSIGN_OR_RETURN(FloatMatrix projected, index.pca_.Transform(data));
+  projected = projected.PermuteColumns(index.permutation_);
+
+  CodebookOptions copts;
+  copts.kmeans_iters = vopts.kmeans_iters;
+  copts.seed = vopts.seed;
+  VAQ_RETURN_IF_ERROR(
+      index.books_.Train(projected, layout, index.bits_, copts));
+  VAQ_ASSIGN_OR_RETURN(index.codes_,
+                       index.books_.Encode(projected, vopts.train_threads));
+
+  // IVF part: trained coarse k-means over the projected vectors (instead
+  // of VaqIndex's random-sample TI centroids).
+  KMeansOptions kopts;
+  kopts.k = std::min(options.coarse_k, data.rows());
+  kopts.max_iters = vopts.kmeans_iters;
+  kopts.seed = vopts.seed ^ 0x51F15EEDULL;
+  VAQ_RETURN_IF_ERROR(index.coarse_.Train(projected, kopts));
+  index.lists_.assign(index.coarse_.k(), {});
+  const std::vector<uint32_t> assign = index.coarse_.AssignAll(projected);
+  for (size_t r = 0; r < data.rows(); ++r) {
+    index.lists_[assign[r]].push_back(static_cast<uint32_t>(r));
+  }
+  return index;
+}
+
+namespace {
+constexpr char kIvfMagic[8] = {'V', 'A', 'Q', 'I', 'V', 'F', '0', '1'};
+}  // namespace
+
+Status VaqIvfIndex::Save(const std::string& path) const {
+  if (!books_.trained()) {
+    return Status::FailedPrecondition("index is not trained");
+  }
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return Status::IoError("cannot open " + path + " for writing");
+  WriteMagic(os, kIvfMagic);
+  WritePod<uint64_t>(os, options_.coarse_k);
+  WritePod<uint64_t>(os, options_.default_nprobe);
+  WriteVector(os, std::vector<double>(pca_.eigenvalues()));
+  WriteVector(os, pca_.means());
+  WriteMatrix(os, pca_.components());
+  WriteVector(os, std::vector<uint64_t>(permutation_.begin(),
+                                        permutation_.end()));
+  books_.Save(os);
+  WriteMatrix(os, codes_);
+  WriteMatrix(os, coarse_.centroids());
+  WritePod<uint64_t>(os, lists_.size());
+  for (const auto& list : lists_) WriteVector(os, list);
+  if (!os) return Status::IoError("write failure on " + path);
+  return Status::OK();
+}
+
+Result<VaqIvfIndex> VaqIvfIndex::Load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IoError("cannot open " + path);
+  VAQ_RETURN_IF_ERROR(CheckMagic(is, kIvfMagic));
+  VaqIvfIndex index;
+  uint64_t u64 = 0;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
+  index.options_.coarse_k = u64;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
+  index.options_.default_nprobe = u64;
+
+  std::vector<double> eigenvalues;
+  std::vector<float> means;
+  FloatMatrix components;
+  VAQ_RETURN_IF_ERROR(ReadVector(is, &eigenvalues));
+  VAQ_RETURN_IF_ERROR(ReadVector(is, &means));
+  VAQ_RETURN_IF_ERROR(ReadMatrix(is, &components));
+  VAQ_RETURN_IF_ERROR(index.pca_.Restore(std::move(eigenvalues),
+                                         std::move(means),
+                                         std::move(components)));
+  std::vector<uint64_t> perm64;
+  VAQ_RETURN_IF_ERROR(ReadVector(is, &perm64));
+  index.permutation_.assign(perm64.begin(), perm64.end());
+  VAQ_RETURN_IF_ERROR(index.books_.Load(is));
+  index.layout_ = index.books_.layout();
+  index.bits_ = index.books_.bits();
+  VAQ_RETURN_IF_ERROR(ReadMatrix(is, &index.codes_));
+  FloatMatrix coarse_centroids;
+  VAQ_RETURN_IF_ERROR(ReadMatrix(is, &coarse_centroids));
+  VAQ_RETURN_IF_ERROR(index.coarse_.Restore(std::move(coarse_centroids)));
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
+  index.lists_.resize(u64);
+  for (auto& list : index.lists_) {
+    VAQ_RETURN_IF_ERROR(ReadVector(is, &list));
+  }
+  return index;
+}
+
+Status VaqIvfIndex::Search(const float* query, size_t k, size_t nprobe,
+                           std::vector<Neighbor>* out,
+                           SearchStats* stats) const {
+  if (!books_.trained()) {
+    return Status::FailedPrecondition("index is not trained");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (nprobe == 0) nprobe = options_.default_nprobe;
+  nprobe = std::min(nprobe, coarse_.k());
+
+  // Project the query into the permuted PCA space.
+  std::vector<float> pca_space(dim());
+  pca_.TransformRow(query, pca_space.data());
+  std::vector<float> projected(dim());
+  for (size_t p = 0; p < dim(); ++p) {
+    projected[p] = pca_space[permutation_[p]];
+  }
+
+  std::vector<float> lut;
+  books_.BuildLookupTable(projected.data(), &lut);
+
+  // Rank the coarse cells by query distance.
+  std::vector<std::pair<float, uint32_t>> cells(coarse_.k());
+  for (size_t c = 0; c < coarse_.k(); ++c) {
+    cells[c] = {SquaredL2(projected.data(), coarse_.centroids().row(c),
+                          dim()),
+                static_cast<uint32_t>(c)};
+  }
+  std::partial_sort(cells.begin(), cells.begin() + nprobe, cells.end());
+  if (stats != nullptr) {
+    stats->clusters_total = coarse_.k();
+    stats->clusters_visited = nprobe;
+  }
+
+  // Early-abandoned ADC scan of the probed lists (importance-ordered
+  // subspaces, checks every 4 lookups, as in VaqIndex).
+  const size_t m = books_.num_subspaces();
+  TopKHeap heap(k);
+  for (size_t v = 0; v < nprobe; ++v) {
+    for (uint32_t id : lists_[cells[v].second]) {
+      const float threshold = heap.Threshold();
+      const uint16_t* code = codes_.row(id);
+      float acc = 0.f;
+      size_t s = 0;
+      while (s < m) {
+        const size_t stop = std::min(s + 4, m);
+        for (; s < stop; ++s) {
+          acc += lut[books_.lut_offset(s) + code[s]];
+        }
+        if (acc >= threshold) break;
+      }
+      if (stats != nullptr) {
+        ++stats->codes_visited;
+        stats->lut_adds += s;
+      }
+      if (acc < threshold) heap.Push(acc, static_cast<int64_t>(id));
+    }
+  }
+  *out = heap.TakeSorted();
+  for (Neighbor& nb : *out) nb.distance = std::sqrt(std::max(0.f, nb.distance));
+  return Status::OK();
+}
+
+}  // namespace vaq

@@ -1,0 +1,64 @@
+#ifndef VAQ_INDEX_VAQ_IVF_H_
+#define VAQ_INDEX_VAQ_IVF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clustering/kmeans.h"
+#include "core/vaq_index.h"
+
+namespace vaq {
+
+struct VaqIvfOptions {
+  /// Underlying VAQ encoder configuration (its TI partition is replaced by
+  /// the IVF lists, so ti_clusters is ignored).
+  VaqOptions vaq;
+  /// Number of coarse k-means partitions (inverted lists).
+  size_t coarse_k = 256;
+  /// Default number of lists probed per query.
+  size_t default_nprobe = 8;
+};
+
+/// Inverted-file index over VAQ primitives — the "new index for
+/// quantization methods" the paper's conclusion calls for (Sections V-B/E
+/// show random-sample TI partitions already rival tree indexes; this
+/// replaces them with trained coarse k-means partitions in the projected
+/// space, the IVF pattern, while keeping VAQ's variable-size codes and
+/// importance-ordered early abandoning inside each list).
+class VaqIvfIndex {
+ public:
+  VaqIvfIndex() = default;
+
+  static Result<VaqIvfIndex> Train(const FloatMatrix& data,
+                                   const VaqIvfOptions& options);
+
+  size_t size() const { return codes_.rows(); }
+  size_t dim() const { return pca_.dim(); }
+  size_t coarse_k() const { return coarse_.k(); }
+  const std::vector<int>& bits_per_subspace() const { return bits_; }
+
+  /// k-NN over the `nprobe` nearest lists (0 = the configured default;
+  /// nprobe >= coarse_k degenerates to a full early-abandoned scan).
+  Status Search(const float* query, size_t k, size_t nprobe,
+                std::vector<Neighbor>* out,
+                SearchStats* stats = nullptr) const;
+
+  Status Save(const std::string& path) const;
+  static Result<VaqIvfIndex> Load(const std::string& path);
+
+ private:
+  VaqIvfOptions options_;
+  Pca pca_;
+  std::vector<size_t> permutation_;
+  SubspaceLayout layout_;
+  std::vector<int> bits_;
+  VariableCodebooks books_;
+  CodeMatrix codes_;
+  KMeans coarse_;                            ///< over projected vectors
+  std::vector<std::vector<uint32_t>> lists_; ///< ids per coarse cell
+};
+
+}  // namespace vaq
+
+#endif  // VAQ_INDEX_VAQ_IVF_H_

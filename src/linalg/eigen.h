@@ -1,0 +1,32 @@
+#ifndef VAQ_LINALG_EIGEN_H_
+#define VAQ_LINALG_EIGEN_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace vaq {
+
+/// Result of a symmetric eigendecomposition A = V diag(values) V^T.
+/// Eigenvalues are sorted in descending order; `vectors` stores the matching
+/// eigenvectors as *columns* (vectors(i, j) is component i of eigenvector j).
+struct EigenDecomposition {
+  std::vector<double> values;
+  DoubleMatrix vectors;
+};
+
+/// Cyclic Jacobi eigensolver for dense symmetric matrices.
+///
+/// Runs sweeps of plane rotations that annihilate off-diagonal entries until
+/// the off-diagonal Frobenius mass falls below `tolerance` (relative to the
+/// matrix norm) or `max_sweeps` is reached. Adequate for the d x d
+/// covariance matrices this library needs (d up to a few thousand), matching
+/// Algorithm 1 (VarPCA) of the paper.
+Result<EigenDecomposition> JacobiEigenSymmetric(const DoubleMatrix& a,
+                                                int max_sweeps = 64,
+                                                double tolerance = 1e-12);
+
+}  // namespace vaq
+
+#endif  // VAQ_LINALG_EIGEN_H_

@@ -1,0 +1,98 @@
+#include "linalg/ops.h"
+
+#include <cmath>
+
+namespace vaq {
+
+FloatMatrix MatMul(const FloatMatrix& a, const FloatMatrix& b) {
+  VAQ_CHECK(a.cols() == b.rows());
+  FloatMatrix c(a.rows(), b.cols(), 0.f);
+  // ikj loop order: streams through B and C rows contiguously.
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const float aik = arow[k];
+      if (aik == 0.f) continue;
+      const float* brow = b.row(k);
+      for (size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+FloatMatrix MatMulTransposed(const FloatMatrix& a, const FloatMatrix& b) {
+  VAQ_CHECK(a.cols() == b.cols());
+  FloatMatrix c(a.rows(), b.rows(), 0.f);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (size_t j = 0; j < b.rows(); ++j) {
+      const float* brow = b.row(j);
+      float acc = 0.f;
+      for (size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+FloatMatrix Transpose(const FloatMatrix& a) {
+  FloatMatrix t(a.cols(), a.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  }
+  return t;
+}
+
+DoubleMatrix Transpose(const DoubleMatrix& a) {
+  DoubleMatrix t(a.cols(), a.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  }
+  return t;
+}
+
+void RowTimesMatrix(const float* x, const FloatMatrix& a, float* out) {
+  for (size_t j = 0; j < a.cols(); ++j) out[j] = 0.f;
+  for (size_t k = 0; k < a.rows(); ++k) {
+    const float xk = x[k];
+    if (xk == 0.f) continue;
+    const float* arow = a.row(k);
+    for (size_t j = 0; j < a.cols(); ++j) out[j] += xk * arow[j];
+  }
+}
+
+double FrobeniusDistance(const FloatMatrix& a, const FloatMatrix& b) {
+  VAQ_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff =
+        static_cast<double>(a.data()[i]) - static_cast<double>(b.data()[i]);
+    acc += diff * diff;
+  }
+  return std::sqrt(acc);
+}
+
+bool IsOrthonormal(const FloatMatrix& a, double tol) {
+  // Check A^T A == I column-wise.
+  for (size_t i = 0; i < a.cols(); ++i) {
+    for (size_t j = i; j < a.cols(); ++j) {
+      double dot = 0.0;
+      for (size_t r = 0; r < a.rows(); ++r) {
+        dot += static_cast<double>(a(r, i)) * static_cast<double>(a(r, j));
+      }
+      const double expected = (i == j) ? 1.0 : 0.0;
+      if (std::fabs(dot - expected) > tol) return false;
+    }
+  }
+  return true;
+}
+
+FloatMatrix Identity(size_t n) {
+  FloatMatrix id(n, n, 0.f);
+  for (size_t i = 0; i < n; ++i) id(i, i) = 1.f;
+  return id;
+}
+
+}  // namespace vaq

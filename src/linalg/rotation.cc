@@ -1,0 +1,53 @@
+#include "linalg/rotation.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace vaq {
+
+void OrthonormalizeColumns(FloatMatrix* m, uint64_t seed) {
+  const size_t n = m->rows();
+  const size_t d = m->cols();
+  Rng rng(seed);
+  for (size_t j = 0; j < d; ++j) {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      // Subtract projections onto previous columns (modified Gram-Schmidt).
+      for (size_t prev = 0; prev < j; ++prev) {
+        double dot = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          dot += static_cast<double>((*m)(i, j)) * (*m)(i, prev);
+        }
+        for (size_t i = 0; i < n; ++i) {
+          (*m)(i, j) -= static_cast<float>(dot * (*m)(i, prev));
+        }
+      }
+      double norm = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        norm += static_cast<double>((*m)(i, j)) * (*m)(i, j);
+      }
+      norm = std::sqrt(norm);
+      if (norm > 1e-8) {
+        const float inv = static_cast<float>(1.0 / norm);
+        for (size_t i = 0; i < n; ++i) (*m)(i, j) *= inv;
+        break;
+      }
+      // Degenerate column: redraw randomly and retry.
+      for (size_t i = 0; i < n; ++i) {
+        (*m)(i, j) = static_cast<float>(rng.Gaussian());
+      }
+    }
+  }
+}
+
+FloatMatrix RandomRotation(size_t d, uint64_t seed) {
+  Rng rng(seed);
+  FloatMatrix m(d, d);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.Gaussian());
+  }
+  OrthonormalizeColumns(&m, seed ^ 0xD1B54A32D192ED03ULL);
+  return m;
+}
+
+}  // namespace vaq

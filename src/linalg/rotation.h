@@ -1,0 +1,22 @@
+#ifndef VAQ_LINALG_ROTATION_H_
+#define VAQ_LINALG_ROTATION_H_
+
+#include <cstdint>
+
+#include "common/matrix.h"
+
+namespace vaq {
+
+/// Random (d x d) orthonormal matrix: Gram-Schmidt orthonormalization of a
+/// Gaussian matrix. Used by ITQ initialization and by OPQ's random-rotation
+/// baseline mode.
+FloatMatrix RandomRotation(size_t d, uint64_t seed);
+
+/// In-place modified Gram-Schmidt on the columns of `m`. Columns that are
+/// numerically dependent are replaced with fresh random directions drawn
+/// from `seed` and re-orthogonalized.
+void OrthonormalizeColumns(FloatMatrix* m, uint64_t seed);
+
+}  // namespace vaq
+
+#endif  // VAQ_LINALG_ROTATION_H_

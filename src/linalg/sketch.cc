@@ -1,0 +1,121 @@
+#include "linalg/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/macros.h"
+#include "linalg/eigen.h"
+
+namespace vaq {
+
+FrequentDirections::FrequentDirections(size_t dim, size_t sketch_size)
+    : dim_(dim), sketch_size_(std::max<size_t>(1, sketch_size)) {
+  VAQ_CHECK(dim > 0);
+  buffer_.Resize(2 * sketch_size_, dim_);
+}
+
+void FrequentDirections::Append(const float* row) {
+  if (filled_ == buffer_.rows()) Shrink();
+  std::memcpy(buffer_.row(filled_), row, dim_ * sizeof(float));
+  ++filled_;
+  ++rows_seen_;
+}
+
+void FrequentDirections::AppendAll(const FloatMatrix& data) {
+  VAQ_CHECK(data.cols() == dim_);
+  for (size_t r = 0; r < data.rows(); ++r) Append(data.row(r));
+}
+
+void FrequentDirections::Shrink() {
+  // SVD of the (possibly wide) buffer via the small Gram matrix
+  // G = B B^T (filled x filled): B = U S V^T with G = U S^2 U^T, and the
+  // shrunken sketch rows are sqrt(max(s_i^2 - delta, 0)) v_i^T
+  //   = sqrt(max(s_i^2 - delta, 0)) / s_i * (u_i^T B).
+  const size_t rows = filled_;
+  if (rows <= sketch_size_) return;
+
+  DoubleMatrix gram(rows, rows, 0.0);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = i; j < rows; ++j) {
+      double acc = 0.0;
+      const float* a = buffer_.row(i);
+      const float* b = buffer_.row(j);
+      for (size_t k = 0; k < dim_; ++k) {
+        acc += static_cast<double>(a[k]) * b[k];
+      }
+      gram(i, j) = acc;
+      gram(j, i) = acc;
+    }
+  }
+  auto eig = JacobiEigenSymmetric(gram);
+  VAQ_CHECK(eig.ok());
+
+  // delta = s_l^2 (the sketch_size-th largest squared singular value).
+  const double delta =
+      sketch_size_ < eig->values.size()
+          ? std::max(0.0, eig->values[sketch_size_])
+          : 0.0;
+
+  FloatMatrix next(buffer_.rows(), dim_, 0.f);
+  size_t out = 0;
+  for (size_t i = 0; i < sketch_size_ && i < rows; ++i) {
+    const double s_sq = std::max(0.0, eig->values[i]);
+    const double shrunk = s_sq - delta;
+    if (shrunk <= 1e-12 || s_sq <= 1e-12) continue;
+    const double scale = std::sqrt(shrunk / s_sq);
+    // row_out = scale * (u_i^T B).
+    float* dst = next.row(out);
+    for (size_t r = 0; r < rows; ++r) {
+      const double u = eig->vectors(r, i);
+      if (u == 0.0) continue;
+      const float* src = buffer_.row(r);
+      const float factor = static_cast<float>(scale * u);
+      for (size_t k = 0; k < dim_; ++k) dst[k] += factor * src[k];
+    }
+    ++out;
+  }
+  buffer_ = std::move(next);
+  filled_ = out;
+}
+
+const FloatMatrix& FrequentDirections::Finalize() {
+  if (filled_ > sketch_size_) Shrink();
+  // Compact the buffer to exactly l rows (zero-padded if underfull).
+  FloatMatrix final_sketch(sketch_size_, dim_, 0.f);
+  const size_t keep = std::min(filled_, sketch_size_);
+  for (size_t r = 0; r < keep; ++r) {
+    std::memcpy(final_sketch.row(r), buffer_.row(r), dim_ * sizeof(float));
+  }
+  buffer_ = std::move(final_sketch);
+  filled_ = keep;
+  return buffer_;
+}
+
+Result<DoubleMatrix> FrequentDirections::ApproximateCovariance() {
+  if (rows_seen_ == 0) {
+    return Status::FailedPrecondition("no rows appended");
+  }
+  Finalize();
+  DoubleMatrix cov(dim_, dim_, 0.0);
+  for (size_t r = 0; r < buffer_.rows(); ++r) {
+    const float* row = buffer_.row(r);
+    for (size_t i = 0; i < dim_; ++i) {
+      const double vi = row[i];
+      if (vi == 0.0) continue;
+      for (size_t j = i; j < dim_; ++j) {
+        cov(i, j) += vi * row[j];
+      }
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(rows_seen_);
+  for (size_t i = 0; i < dim_; ++i) {
+    for (size_t j = i; j < dim_; ++j) {
+      cov(i, j) *= inv_n;
+      cov(j, i) = cov(i, j);
+    }
+  }
+  return cov;
+}
+
+}  // namespace vaq

@@ -1,0 +1,31 @@
+#ifndef VAQ_LINALG_SVD_H_
+#define VAQ_LINALG_SVD_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace vaq {
+
+/// Thin singular value decomposition A = U diag(s) V^T for a (n x d) matrix
+/// with n >= d. Computed via the symmetric eigendecomposition of A^T A,
+/// which is accurate enough for the small Procrustes problems (OPQ rotation
+/// refinement, ITQ rotation learning) this library solves.
+struct SvdResult {
+  FloatMatrix u;                  ///< (n x d), orthonormal columns.
+  std::vector<double> singular;   ///< length d, descending.
+  FloatMatrix v;                  ///< (d x d), orthonormal columns.
+};
+
+Result<SvdResult> ThinSvd(const FloatMatrix& a);
+
+/// Solves the orthogonal Procrustes problem: the orthonormal R minimizing
+/// ||A R - B||_F, given A and B with identical shapes (n x d).
+/// R = U V^T where (U, V) come from the SVD of A^T B.
+Result<FloatMatrix> OrthogonalProcrustes(const FloatMatrix& a,
+                                         const FloatMatrix& b);
+
+}  // namespace vaq
+
+#endif  // VAQ_LINALG_SVD_H_

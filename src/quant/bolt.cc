@@ -1,0 +1,103 @@
+#include "quant/bolt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace vaq {
+
+Status BoltQuantizer::Train(const FloatMatrix& data) {
+  VAQ_ASSIGN_OR_RETURN(
+      SubspaceLayout layout,
+      SubspaceLayout::Uniform(data.cols(), options_.num_subspaces));
+  CodebookOptions copts;
+  copts.kmeans_iters = options_.kmeans_iters;
+  copts.seed = options_.seed;
+  std::vector<int> bits(options_.num_subspaces, 4);  // Bolt's 16 centroids
+  VAQ_RETURN_IF_ERROR(books_.Train(data, layout, bits, copts));
+
+  VAQ_ASSIGN_OR_RETURN(CodeMatrix wide, books_.Encode(data));
+  num_rows_ = wide.rows();
+  codes_.resize(num_rows_ * options_.num_subspaces);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    const uint16_t* src = wide.row(r);
+    uint8_t* dst = codes_.data() + r * options_.num_subspaces;
+    for (size_t s = 0; s < options_.num_subspaces; ++s) {
+      dst[s] = static_cast<uint8_t>(src[s]);
+    }
+  }
+
+  // Calibrate the 8-bit table quantization on training vectors acting as
+  // pseudo-queries (Bolt learns these parameters offline; queries whose
+  // distances fall outside the calibrated range saturate, which is where
+  // Bolt trades accuracy for its fixed-point scan).
+  const size_t m = options_.num_subspaces;
+  const size_t calibration = std::min<size_t>(data.rows(), 256);
+  lut_offsets_.assign(m, std::numeric_limits<float>::max());
+  float max_range = 1e-12f;
+  std::vector<float> lut;
+  for (size_t q = 0; q < calibration; ++q) {
+    books_.BuildLookupTable(data.row(q), &lut);
+    for (size_t s = 0; s < m; ++s) {
+      const float* block = lut.data() + books_.lut_offset(s);
+      float lo = block[0], hi = block[0];
+      for (size_t c = 1; c < 16; ++c) {
+        lo = std::min(lo, block[c]);
+        hi = std::max(hi, block[c]);
+      }
+      lut_offsets_[s] = std::min(lut_offsets_[s], lo);
+      max_range = std::max(max_range, hi - lut_offsets_[s]);
+    }
+  }
+  lut_scale_ = 255.f / max_range;
+  return Status::OK();
+}
+
+Status BoltQuantizer::Search(const float* query, size_t k,
+                             std::vector<Neighbor>* out) const {
+  if (!books_.trained()) {
+    return Status::FailedPrecondition("Bolt is not trained");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+
+  // Float ADC table requantized with the *calibrated* offsets and scale:
+  // entries outside the learned range saturate at 0 or 255, which is the
+  // accuracy Bolt gives up for its fixed-point scan.
+  std::vector<float> lut;
+  books_.BuildLookupTable(query, &lut);
+  const size_t m = options_.num_subspaces;
+
+  float offset_total = 0.f;
+  for (size_t s = 0; s < m; ++s) offset_total += lut_offsets_[s];
+
+  std::vector<uint8_t> qlut(m * 16);
+  for (size_t s = 0; s < m; ++s) {
+    const float* block = lut.data() + books_.lut_offset(s);
+    uint8_t* qblock = qlut.data() + s * 16;
+    for (size_t c = 0; c < 16; ++c) {
+      const float v = (block[c] - lut_offsets_[s]) * lut_scale_;
+      qblock[c] = static_cast<uint8_t>(
+          std::min(255.f, std::max(0.f, std::round(v))));
+    }
+  }
+
+  // Integer scan.
+  TopKHeap heap(k);
+  const float inv_scale = 1.f / lut_scale_;
+  for (size_t r = 0; r < num_rows_; ++r) {
+    const uint8_t* code = codes_.data() + r * m;
+    uint32_t acc = 0;
+    for (size_t s = 0; s < m; ++s) {
+      acc += qlut[s * 16 + code[s]];
+    }
+    const float dist = static_cast<float>(acc) * inv_scale + offset_total;
+    heap.Push(dist, static_cast<int64_t>(r));
+  }
+  *out = heap.TakeSorted();
+  for (Neighbor& nb : *out) nb.distance = std::sqrt(std::max(0.f, nb.distance));
+  return Status::OK();
+}
+
+}  // namespace vaq

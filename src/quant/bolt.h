@@ -1,0 +1,60 @@
+#ifndef VAQ_QUANT_BOLT_H_
+#define VAQ_QUANT_BOLT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/codebook.h"
+#include "quant/quantizer.h"
+
+namespace vaq {
+
+struct BoltOptions {
+  /// Number of subspaces. Bolt fixes 4 bits (16 centroids) per subspace,
+  /// so the total budget is 4 * num_subspaces bits.
+  size_t num_subspaces = 32;
+  int kmeans_iters = 25;
+  uint64_t seed = 42;
+};
+
+/// Bolt (Blalock & Guttag, KDD 2017; Section II-C "Accelerations").
+///
+/// Aggressively small dictionaries (16 centroids per subspace) and 8-bit
+/// quantized lookup tables accumulated in integer arithmetic. The original
+/// uses SIMD shuffles; this implementation keeps the *algorithmic*
+/// reductions — tiny LUTs, uint8 table entries, integer accumulation, and
+/// the accuracy loss they imply — in portable scalar code (the
+/// hardware-oblivious comparison the paper makes in Figures 1 and 8).
+class BoltQuantizer : public Quantizer {
+ public:
+  explicit BoltQuantizer(const BoltOptions& options = BoltOptions())
+      : options_(options) {}
+
+  std::string name() const override { return "Bolt"; }
+  Status Train(const FloatMatrix& data) override;
+  size_t size() const override { return num_rows_; }
+  size_t code_bytes() const override {
+    // Two 4-bit codes per byte.
+    return num_rows_ * ((options_.num_subspaces + 1) / 2);
+  }
+  Status Search(const float* query, size_t k,
+                std::vector<Neighbor>* out) const override;
+
+  const VariableCodebooks& codebooks() const { return books_; }
+
+ private:
+  BoltOptions options_;
+  VariableCodebooks books_;
+  /// Packed codes: one uint8 per subspace (low nibble), row-major.
+  std::vector<uint8_t> codes_;
+  size_t num_rows_ = 0;
+  /// Learned table-quantization parameters (Bolt calibrates offsets and
+  /// the scale on training data, so unseen queries saturate — the source
+  /// of its accuracy loss).
+  std::vector<float> lut_offsets_;
+  float lut_scale_ = 1.f;
+};
+
+}  // namespace vaq
+
+#endif  // VAQ_QUANT_BOLT_H_

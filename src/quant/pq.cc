@@ -1,0 +1,170 @@
+#include "quant/pq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <fstream>
+
+#include "common/io.h"
+#include "common/macros.h"
+#include "linalg/covariance.h"
+
+namespace vaq {
+
+Status ProductQuantizer::Train(const FloatMatrix& data) {
+  if (options_.bits_per_subspace < 1 || options_.bits_per_subspace > 16) {
+    return Status::InvalidArgument("bits_per_subspace must be in [1, 16]");
+  }
+  VAQ_ASSIGN_OR_RETURN(
+      SubspaceLayout layout,
+      SubspaceLayout::Uniform(data.cols(), options_.num_subspaces));
+
+  CodebookOptions copts;
+  copts.kmeans_iters = options_.kmeans_iters;
+  copts.seed = options_.seed;
+  std::vector<int> bits(options_.num_subspaces,
+                        static_cast<int>(options_.bits_per_subspace));
+  VAQ_RETURN_IF_ERROR(books_.Train(data, layout, bits, copts));
+  VAQ_ASSIGN_OR_RETURN(codes_, books_.Encode(data));
+
+  // Per-subspace variance shares for the subspace-omission study.
+  const std::vector<double> dim_vars = ColumnVariances(data);
+  subspace_variances_ = layout.SubspaceVariances(dim_vars);
+  const double total = std::accumulate(subspace_variances_.begin(),
+                                       subspace_variances_.end(), 0.0);
+  if (total > 0.0) {
+    for (double& v : subspace_variances_) v /= total;
+  }
+  subspace_order_.resize(options_.num_subspaces);
+  std::iota(subspace_order_.begin(), subspace_order_.end(), size_t{0});
+  std::sort(subspace_order_.begin(), subspace_order_.end(),
+            [this](size_t a, size_t b) {
+              return subspace_variances_[a] > subspace_variances_[b];
+            });
+
+  VAQ_ASSIGN_OR_RETURN(train_error_, books_.ReconstructionError(data));
+  return Status::OK();
+}
+
+Status ProductQuantizer::Search(const float* query, size_t k,
+                                std::vector<Neighbor>* out) const {
+  return SearchSubset(query, k, 0, out);
+}
+
+Status ProductQuantizer::PrepareSdc() {
+  if (!books_.trained()) {
+    return Status::FailedPrecondition("PQ is not trained");
+  }
+  VAQ_ASSIGN_OR_RETURN(sdc_, books_.BuildSdcTables());
+  sdc_ready_ = true;
+  return Status::OK();
+}
+
+Status ProductQuantizer::SearchSdc(const float* query, size_t k,
+                                   std::vector<Neighbor>* out) const {
+  if (!sdc_ready_) {
+    return Status::FailedPrecondition("call PrepareSdc() before SearchSdc()");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  std::vector<uint16_t> qcode(books_.num_subspaces());
+  books_.EncodeRow(query, qcode.data());
+  TopKHeap heap(k);
+  for (size_t r = 0; r < codes_.rows(); ++r) {
+    heap.Push(books_.SdcDistance(qcode.data(), codes_.row(r), sdc_),
+              static_cast<int64_t>(r));
+  }
+  *out = heap.TakeSorted();
+  for (Neighbor& nb : *out) nb.distance = std::sqrt(std::max(0.f, nb.distance));
+  return Status::OK();
+}
+
+namespace {
+constexpr char kPqMagic[8] = {'V', 'A', 'Q', 'P', 'Q', '0', '0', '1'};
+}  // namespace
+
+Status ProductQuantizer::Save(const std::string& path) const {
+  if (!books_.trained()) {
+    return Status::FailedPrecondition("PQ is not trained");
+  }
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return Status::IoError("cannot open " + path + " for writing");
+  WriteMagic(os, kPqMagic);
+  WritePod<uint64_t>(os, options_.num_subspaces);
+  WritePod<uint64_t>(os, options_.bits_per_subspace);
+  WritePod<int32_t>(os, options_.kmeans_iters);
+  WritePod<uint64_t>(os, options_.seed);
+  books_.Save(os);
+  WriteMatrix(os, codes_);
+  WriteVector(os, subspace_variances_);
+  WriteVector(os, std::vector<uint64_t>(subspace_order_.begin(),
+                                        subspace_order_.end()));
+  WritePod<double>(os, train_error_);
+  if (!os) return Status::IoError("write failure on " + path);
+  return Status::OK();
+}
+
+Result<ProductQuantizer> ProductQuantizer::Load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IoError("cannot open " + path);
+  VAQ_RETURN_IF_ERROR(CheckMagic(is, kPqMagic));
+  ProductQuantizer pq;
+  uint64_t u64 = 0;
+  int32_t i32 = 0;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
+  pq.options_.num_subspaces = u64;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
+  pq.options_.bits_per_subspace = u64;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &i32));
+  pq.options_.kmeans_iters = i32;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
+  pq.options_.seed = u64;
+  VAQ_RETURN_IF_ERROR(pq.books_.Load(is));
+  VAQ_RETURN_IF_ERROR(ReadMatrix(is, &pq.codes_));
+  VAQ_RETURN_IF_ERROR(ReadVector(is, &pq.subspace_variances_));
+  std::vector<uint64_t> order64;
+  VAQ_RETURN_IF_ERROR(ReadVector(is, &order64));
+  pq.subspace_order_.assign(order64.begin(), order64.end());
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &pq.train_error_));
+  return pq;
+}
+
+Status ProductQuantizer::SearchSubset(const float* query, size_t k,
+                                      size_t num_subspaces_used,
+                                      std::vector<Neighbor>* out) const {
+  if (!books_.trained()) {
+    return Status::FailedPrecondition("PQ is not trained");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+
+  std::vector<float> lut;
+  books_.BuildLookupTable(query, &lut);
+
+  const size_t m = books_.num_subspaces();
+  const size_t used = num_subspaces_used == 0
+                          ? m
+                          : std::min(num_subspaces_used, m);
+  TopKHeap heap(k);
+  if (used == m) {
+    for (size_t r = 0; r < codes_.rows(); ++r) {
+      heap.Push(books_.AdcDistance(codes_.row(r), lut.data()),
+                static_cast<int64_t>(r));
+    }
+  } else {
+    // Accumulate only the `used` most informative subspaces.
+    for (size_t r = 0; r < codes_.rows(); ++r) {
+      const uint16_t* code = codes_.row(r);
+      float acc = 0.f;
+      for (size_t i = 0; i < used; ++i) {
+        const size_t s = subspace_order_[i];
+        acc += lut[books_.lut_offset(s) + code[s]];
+      }
+      heap.Push(acc, static_cast<int64_t>(r));
+    }
+  }
+  *out = heap.TakeSorted();
+  for (Neighbor& nb : *out) nb.distance = std::sqrt(std::max(0.f, nb.distance));
+  return Status::OK();
+}
+
+}  // namespace vaq

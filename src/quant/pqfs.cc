@@ -1,0 +1,89 @@
+#include "quant/pqfs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace vaq {
+
+Status PqFastScan::Train(const FloatMatrix& data) {
+  if (options_.bits_per_subspace < 1 || options_.bits_per_subspace > 16) {
+    return Status::InvalidArgument("bits_per_subspace must be in [1, 16]");
+  }
+  VAQ_ASSIGN_OR_RETURN(
+      SubspaceLayout layout,
+      SubspaceLayout::Uniform(data.cols(), options_.num_subspaces));
+  CodebookOptions copts;
+  copts.kmeans_iters = options_.kmeans_iters;
+  copts.seed = options_.seed;
+  std::vector<int> bits(options_.num_subspaces,
+                        static_cast<int>(options_.bits_per_subspace));
+  VAQ_RETURN_IF_ERROR(books_.Train(data, layout, bits, copts));
+  VAQ_ASSIGN_OR_RETURN(codes_, books_.Encode(data));
+  return Status::OK();
+}
+
+Status PqFastScan::Search(const float* query, size_t k,
+                          std::vector<Neighbor>* out) const {
+  if (!books_.trained()) {
+    return Status::FailedPrecondition("PQFS is not trained");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+
+  std::vector<float> lut;
+  books_.BuildLookupTable(query, &lut);
+  const size_t m = options_.num_subspaces;
+
+  // Lower-bound quantization: floor((v - o_s) * scale) guarantees
+  // sum(q)/scale + sum(o_s) <= true ADC distance, so pruning on the
+  // integer bound is lossless.
+  float offset_total = 0.f;
+  float max_range = 1e-12f;
+  std::vector<float> offsets(m);
+  for (size_t s = 0; s < m; ++s) {
+    const float* block = lut.data() + books_.lut_offset(s);
+    const size_t entries = size_t{1} << options_.bits_per_subspace;
+    float lo = block[0], hi = block[0];
+    for (size_t c = 1; c < entries; ++c) {
+      lo = std::min(lo, block[c]);
+      hi = std::max(hi, block[c]);
+    }
+    offsets[s] = lo;
+    offset_total += lo;
+    max_range = std::max(max_range, hi - lo);
+  }
+  const float scale = 255.f / max_range;
+
+  const size_t entries = size_t{1} << options_.bits_per_subspace;
+  std::vector<uint8_t> qlut(m * entries);
+  for (size_t s = 0; s < m; ++s) {
+    const float* block = lut.data() + books_.lut_offset(s);
+    uint8_t* qblock = qlut.data() + s * entries;
+    for (size_t c = 0; c < entries; ++c) {
+      const float v = (block[c] - offsets[s]) * scale;
+      qblock[c] = static_cast<uint8_t>(
+          std::min(255.f, std::max(0.f, std::floor(v))));
+    }
+  }
+
+  TopKHeap heap(k);
+  const float inv_scale = 1.f / scale;
+  for (size_t r = 0; r < codes_.rows(); ++r) {
+    const uint16_t* code = codes_.row(r);
+    uint32_t acc = 0;
+    for (size_t s = 0; s < m; ++s) {
+      acc += qlut[s * entries + code[s]];
+    }
+    const float bound = static_cast<float>(acc) * inv_scale + offset_total;
+    if (bound >= heap.Threshold()) continue;  // cannot enter the top-k
+    // Verify with the exact float table.
+    const float dist = books_.AdcDistance(code, lut.data());
+    heap.Push(dist, static_cast<int64_t>(r));
+  }
+  *out = heap.TakeSorted();
+  for (Neighbor& nb : *out) nb.distance = std::sqrt(std::max(0.f, nb.distance));
+  return Status::OK();
+}
+
+}  // namespace vaq

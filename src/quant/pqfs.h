@@ -1,0 +1,54 @@
+#ifndef VAQ_QUANT_PQFS_H_
+#define VAQ_QUANT_PQFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/codebook.h"
+#include "quant/quantizer.h"
+
+namespace vaq {
+
+struct PqfsOptions {
+  size_t num_subspaces = 8;
+  size_t bits_per_subspace = 8;
+  int kmeans_iters = 25;
+  uint64_t seed = 42;
+};
+
+/// PQ Fast Scan (Andre et al., VLDB 2015; Section II-C "Accelerations").
+///
+/// Keeps PQ's dictionaries and accuracy but accelerates the scan with
+/// 8-bit *lower-bound* lookup tables: each float table entry is floored
+/// onto a uint8 grid so that the integer accumulation never exceeds the
+/// true ADC distance. Candidates whose lower bound already exceeds the
+/// best-so-far k-th distance are discarded without touching the float
+/// tables; survivors get the exact float accumulation. The original's
+/// SIMD register-resident tables and vector grouping are replaced by the
+/// same two-level bound-then-verify structure in scalar code.
+class PqFastScan : public Quantizer {
+ public:
+  explicit PqFastScan(const PqfsOptions& options = PqfsOptions())
+      : options_(options) {}
+
+  std::string name() const override { return "PQFS"; }
+  Status Train(const FloatMatrix& data) override;
+  size_t size() const override { return codes_.rows(); }
+  size_t code_bytes() const override {
+    return codes_.rows() * options_.num_subspaces *
+           ((options_.bits_per_subspace + 7) / 8);
+  }
+  Status Search(const float* query, size_t k,
+                std::vector<Neighbor>* out) const override;
+
+  const VariableCodebooks& codebooks() const { return books_; }
+
+ private:
+  PqfsOptions options_;
+  VariableCodebooks books_;
+  CodeMatrix codes_;
+};
+
+}  // namespace vaq
+
+#endif  // VAQ_QUANT_PQFS_H_

@@ -1,0 +1,16 @@
+#include "quant/quantizer.h"
+
+#include "common/macros.h"
+
+namespace vaq {
+
+Result<std::vector<std::vector<Neighbor>>> Quantizer::SearchBatch(
+    const FloatMatrix& queries, size_t k) const {
+  std::vector<std::vector<Neighbor>> results(queries.rows());
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    VAQ_RETURN_IF_ERROR(Search(queries.row(q), k, &results[q]));
+  }
+  return results;
+}
+
+}  // namespace vaq

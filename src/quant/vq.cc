@@ -1,0 +1,45 @@
+#include "quant/vq.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace vaq {
+
+Status VectorQuantizer::Train(const FloatMatrix& data) {
+  if (options_.bits < 1 || options_.bits > 20) {
+    return Status::InvalidArgument("VQ bits must be in [1, 20]");
+  }
+  KMeansOptions kopts;
+  kopts.k = size_t{1} << options_.bits;
+  kopts.max_iters = options_.kmeans_iters;
+  kopts.seed = options_.seed;
+  VAQ_RETURN_IF_ERROR(kmeans_.Train(data, kopts));
+  codes_ = kmeans_.AssignAll(data);
+  return Status::OK();
+}
+
+Status VectorQuantizer::Search(const float* query, size_t k,
+                               std::vector<Neighbor>* out) const {
+  if (!kmeans_.trained()) {
+    return Status::FailedPrecondition("VQ is not trained");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+
+  // One lookup table over the whole dictionary: the ADC distance of a
+  // database vector is the query's distance to its centroid.
+  const size_t num_centroids = kmeans_.k();
+  std::vector<float> lut(num_centroids);
+  for (size_t c = 0; c < num_centroids; ++c) {
+    lut[c] = SquaredL2(query, kmeans_.centroids().row(c), kmeans_.dim());
+  }
+  TopKHeap heap(k);
+  for (size_t r = 0; r < codes_.size(); ++r) {
+    heap.Push(lut[codes_[r]], static_cast<int64_t>(r));
+  }
+  *out = heap.TakeSorted();
+  for (Neighbor& nb : *out) nb.distance = std::sqrt(std::max(0.f, nb.distance));
+  return Status::OK();
+}
+
+}  // namespace vaq

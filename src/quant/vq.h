@@ -1,0 +1,48 @@
+#ifndef VAQ_QUANT_VQ_H_
+#define VAQ_QUANT_VQ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "clustering/kmeans.h"
+#include "quant/quantizer.h"
+
+namespace vaq {
+
+struct VqOptions {
+  /// Bits of the single dictionary (2^bits centroids). VQ is only viable
+  /// for small budgets — the motivating limitation PQ removes
+  /// (Section II-C).
+  size_t bits = 10;
+  int kmeans_iters = 25;
+  uint64_t seed = 42;
+};
+
+/// Plain Vector Quantization (Gray 1984): one dictionary over the full
+/// dimensionality. Included as the conceptual baseline and for the
+/// quickstart example; its dictionary cost is why PQ exists.
+class VectorQuantizer : public Quantizer {
+ public:
+  explicit VectorQuantizer(const VqOptions& options = VqOptions())
+      : options_(options) {}
+
+  std::string name() const override { return "VQ"; }
+  Status Train(const FloatMatrix& data) override;
+  size_t size() const override { return codes_.size(); }
+  size_t code_bytes() const override {
+    return codes_.size() * ((options_.bits + 7) / 8);
+  }
+  Status Search(const float* query, size_t k,
+                std::vector<Neighbor>* out) const override;
+
+  const KMeans& kmeans() const { return kmeans_; }
+
+ private:
+  VqOptions options_;
+  KMeans kmeans_;
+  std::vector<uint32_t> codes_;
+};
+
+}  // namespace vaq
+
+#endif  // VAQ_QUANT_VQ_H_

@@ -1,0 +1,257 @@
+#include "solver/lp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace vaq {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Dense simplex tableau. Rows are constraints plus one objective row at
+/// the bottom; the last column is the right-hand side.
+class Tableau {
+ public:
+  Tableau(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), cells_(rows * cols, 0.0) {}
+
+  double& at(size_t r, size_t c) { return cells_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return cells_[r * cols_ + c]; }
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  void Pivot(size_t pivot_row, size_t pivot_col) {
+    const double pv = at(pivot_row, pivot_col);
+    for (size_t c = 0; c < cols_; ++c) at(pivot_row, c) /= pv;
+    for (size_t r = 0; r < rows_; ++r) {
+      if (r == pivot_row) continue;
+      const double factor = at(r, pivot_col);
+      if (std::fabs(factor) < kEps) continue;
+      for (size_t c = 0; c < cols_; ++c) {
+        at(r, c) -= factor * at(pivot_row, c);
+      }
+    }
+  }
+
+ private:
+  size_t rows_, cols_;
+  std::vector<double> cells_;
+};
+
+enum class SimplexOutcome { kOptimal, kUnbounded };
+
+/// Runs the simplex method on a tableau whose bottom row is the (reduced)
+/// objective to MINIMIZE; `basis[r]` names the basic column of row r.
+/// Bland's rule guarantees termination.
+SimplexOutcome RunSimplex(Tableau* t, std::vector<size_t>* basis,
+                          size_t num_cols_usable) {
+  const size_t obj = t->rows() - 1;
+  const size_t rhs = t->cols() - 1;
+  while (true) {
+    // Entering column: smallest index with a negative reduced cost.
+    size_t enter = num_cols_usable;
+    for (size_t c = 0; c < num_cols_usable; ++c) {
+      if (t->at(obj, c) < -kEps) {
+        enter = c;
+        break;
+      }
+    }
+    if (enter == num_cols_usable) return SimplexOutcome::kOptimal;
+
+    // Leaving row: min ratio test, ties broken by smallest basis index.
+    size_t leave = obj;
+    double best_ratio = 0.0;
+    for (size_t r = 0; r < obj; ++r) {
+      const double a = t->at(r, enter);
+      if (a > kEps) {
+        const double ratio = t->at(r, rhs) / a;
+        if (leave == obj || ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps && (*basis)[r] < (*basis)[leave])) {
+          leave = r;
+          best_ratio = ratio;
+        }
+      }
+    }
+    if (leave == obj) return SimplexOutcome::kUnbounded;
+
+    t->Pivot(leave, enter);
+    (*basis)[leave] = enter;
+  }
+}
+
+}  // namespace
+
+Status LinearProgram::Validate() const {
+  const size_t n = num_vars();
+  if (n == 0) return Status::InvalidArgument("LP has no variables");
+  if (lower.size() != n || upper.size() != n) {
+    return Status::InvalidArgument("bound vectors must match variable count");
+  }
+  for (size_t j = 0; j < n; ++j) {
+    if (!std::isfinite(lower[j])) {
+      return Status::InvalidArgument(
+          "free (unbounded-below) variables are not supported");
+    }
+    if (upper[j] < lower[j]) {
+      return Status::Infeasible("variable bound lower > upper");
+    }
+  }
+  for (const auto& row : constraints) {
+    if (row.coeffs.size() != n) {
+      return Status::InvalidArgument("constraint width mismatch");
+    }
+    if (!std::isfinite(row.rhs)) {
+      return Status::InvalidArgument("constraint rhs must be finite");
+    }
+  }
+  return Status::OK();
+}
+
+Result<LpSolution> SolveLp(const LinearProgram& lp) {
+  VAQ_RETURN_IF_ERROR(lp.Validate());
+  const size_t n = lp.num_vars();
+
+  // Shift variables so that x = lower + x', x' >= 0, and materialize finite
+  // upper bounds as explicit <= rows.
+  std::vector<LinearConstraint> rows = lp.constraints;
+  for (auto& row : rows) {
+    double shift = 0.0;
+    for (size_t j = 0; j < n; ++j) shift += row.coeffs[j] * lp.lower[j];
+    row.rhs -= shift;
+  }
+  for (size_t j = 0; j < n; ++j) {
+    if (std::isfinite(lp.upper[j])) {
+      LinearConstraint bound;
+      bound.coeffs.assign(n, 0.0);
+      bound.coeffs[j] = 1.0;
+      bound.relation = Relation::kLessEqual;
+      bound.rhs = lp.upper[j] - lp.lower[j];
+      rows.push_back(std::move(bound));
+    }
+  }
+
+  // Normalize all rows to non-negative rhs.
+  for (auto& row : rows) {
+    if (row.rhs < 0.0) {
+      for (double& c : row.coeffs) c = -c;
+      row.rhs = -row.rhs;
+      if (row.relation == Relation::kLessEqual) {
+        row.relation = Relation::kGreaterEqual;
+      } else if (row.relation == Relation::kGreaterEqual) {
+        row.relation = Relation::kLessEqual;
+      }
+    }
+  }
+
+  const size_t m = rows.size();
+  size_t num_slack = 0;
+  for (const auto& row : rows) {
+    if (row.relation != Relation::kEqual) ++num_slack;
+  }
+  // Artificial variables for >= and == rows.
+  size_t num_artificial = 0;
+  for (const auto& row : rows) {
+    if (row.relation != Relation::kLessEqual) ++num_artificial;
+  }
+
+  const size_t total = n + num_slack + num_artificial;
+  const size_t rhs_col = total;
+  Tableau t(m + 1, total + 1);
+  std::vector<size_t> basis(m, 0);
+
+  size_t slack_at = n;
+  size_t art_at = n + num_slack;
+  const size_t first_artificial = art_at;
+  for (size_t r = 0; r < m; ++r) {
+    const auto& row = rows[r];
+    for (size_t j = 0; j < n; ++j) t.at(r, j) = row.coeffs[j];
+    t.at(r, rhs_col) = row.rhs;
+    switch (row.relation) {
+      case Relation::kLessEqual:
+        t.at(r, slack_at) = 1.0;
+        basis[r] = slack_at++;
+        break;
+      case Relation::kGreaterEqual:
+        t.at(r, slack_at) = -1.0;  // surplus
+        ++slack_at;
+        t.at(r, art_at) = 1.0;
+        basis[r] = art_at++;
+        break;
+      case Relation::kEqual:
+        t.at(r, art_at) = 1.0;
+        basis[r] = art_at++;
+        break;
+    }
+  }
+
+  const size_t obj = m;
+  if (num_artificial > 0) {
+    // Phase 1: minimize the sum of artificial variables. The objective row
+    // starts as sum of the artificial columns, then is reduced w.r.t. the
+    // starting basis (subtract rows whose basic variable is artificial).
+    for (size_t c = first_artificial; c < total; ++c) t.at(obj, c) = 1.0;
+    for (size_t r = 0; r < m; ++r) {
+      if (basis[r] >= first_artificial) {
+        for (size_t c = 0; c <= total; ++c) t.at(obj, c) -= t.at(r, c);
+      }
+    }
+    const SimplexOutcome outcome = RunSimplex(&t, &basis, total);
+    if (outcome == SimplexOutcome::kUnbounded) {
+      return Status::Internal("phase-1 simplex reported unbounded");
+    }
+    if (t.at(obj, rhs_col) < -1e-6) {
+      return Status::Infeasible("no feasible point satisfies the constraints");
+    }
+    // Drive any artificial variables still in the basis out of it.
+    for (size_t r = 0; r < m; ++r) {
+      if (basis[r] >= first_artificial) {
+        size_t pivot_col = total;
+        for (size_t c = 0; c < first_artificial; ++c) {
+          if (std::fabs(t.at(r, c)) > kEps) {
+            pivot_col = c;
+            break;
+          }
+        }
+        if (pivot_col < total) {
+          t.Pivot(r, pivot_col);
+          basis[r] = pivot_col;
+        }
+        // Otherwise the row is redundant (all-zero); leave it.
+      }
+    }
+  }
+
+  // Phase 2: minimize -objective (i.e. maximize the original objective),
+  // with artificial columns frozen out of the usable range.
+  for (size_t c = 0; c <= total; ++c) t.at(obj, c) = 0.0;
+  for (size_t j = 0; j < n; ++j) t.at(obj, j) = -lp.objective[j];
+  // Reduce the objective row against the current basis.
+  for (size_t r = 0; r < m; ++r) {
+    const double coeff = t.at(obj, basis[r]);
+    if (std::fabs(coeff) > kEps) {
+      for (size_t c = 0; c <= total; ++c) {
+        t.at(obj, c) -= coeff * t.at(r, c);
+      }
+    }
+  }
+  const SimplexOutcome outcome = RunSimplex(&t, &basis, first_artificial);
+  if (outcome == SimplexOutcome::kUnbounded) {
+    return Status::Infeasible("LP is unbounded");
+  }
+
+  LpSolution sol;
+  sol.x.assign(n, 0.0);
+  for (size_t r = 0; r < m; ++r) {
+    if (basis[r] < n) sol.x[basis[r]] = t.at(r, rhs_col);
+  }
+  for (size_t j = 0; j < n; ++j) sol.x[j] += lp.lower[j];
+  sol.objective_value = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    sol.objective_value += lp.objective[j] * sol.x[j];
+  }
+  return sol;
+}
+
+}  // namespace vaq

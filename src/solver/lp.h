@@ -1,0 +1,59 @@
+#ifndef VAQ_SOLVER_LP_H_
+#define VAQ_SOLVER_LP_H_
+
+#include <limits>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vaq {
+
+/// Relation of a linear constraint row to its right-hand side.
+enum class Relation { kLessEqual, kGreaterEqual, kEqual };
+
+/// One row of the constraint system: coeffs . x (relation) rhs.
+struct LinearConstraint {
+  std::vector<double> coeffs;
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+};
+
+/// A linear program in the form used by the paper's bit allocation
+/// (Section III-C):
+///
+///   maximize    objective . x
+///   subject to  A x {<=, >=, ==} b     (rows of `constraints`)
+///               lower <= x <= upper    (per-variable bounds)
+///
+/// Upper bounds may be +infinity.
+struct LinearProgram {
+  std::vector<double> objective;
+  std::vector<LinearConstraint> constraints;
+  std::vector<double> lower;
+  std::vector<double> upper;
+
+  size_t num_vars() const { return objective.size(); }
+
+  static constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+  /// Basic shape validation (matching lengths, lower <= upper).
+  Status Validate() const;
+};
+
+struct LpSolution {
+  std::vector<double> x;
+  double objective_value = 0.0;
+};
+
+/// Solves the LP with a dense two-phase tableau simplex (Bland's rule, so
+/// it cannot cycle). Problems in this library are tiny (tens of variables),
+/// so the dense method is both simple and fast.
+///
+/// Returns kInfeasible when no feasible point exists and kInvalidArgument
+/// for malformed inputs; unbounded problems return kInfeasible with an
+/// explanatory message (the bit-allocation LPs are always bounded).
+Result<LpSolution> SolveLp(const LinearProgram& lp);
+
+}  // namespace vaq
+
+#endif  // VAQ_SOLVER_LP_H_

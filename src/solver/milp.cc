@@ -1,0 +1,139 @@
+#include "solver/milp.h"
+
+#include <cmath>
+#include <queue>
+
+#include "common/macros.h"
+
+namespace vaq {
+namespace {
+
+struct Node {
+  std::vector<double> lower;
+  std::vector<double> upper;
+  double bound = 0.0;  // LP relaxation value (upper bound for maximize)
+
+  friend bool operator<(const Node& a, const Node& b) {
+    return a.bound < b.bound;  // priority_queue pops the best bound first
+  }
+};
+
+/// Index of the most fractional integral variable, or SIZE_MAX if the
+/// point is integral w.r.t. the flags.
+size_t MostFractional(const std::vector<double>& x,
+                      const std::vector<bool>& integral, double tol) {
+  size_t best = SIZE_MAX;
+  double best_frac_dist = tol;
+  for (size_t j = 0; j < x.size(); ++j) {
+    if (!integral[j]) continue;
+    const double frac = x[j] - std::floor(x[j]);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist > best_frac_dist) {
+      best_frac_dist = dist;
+      best = j;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<MilpSolution> SolveMilp(const MixedIntegerProgram& mip,
+                               const MilpOptions& options) {
+  VAQ_RETURN_IF_ERROR(mip.lp.Validate());
+  if (mip.integral.size() != mip.lp.num_vars()) {
+    return Status::InvalidArgument(
+        "integrality flags must match variable count");
+  }
+
+  const double tol = options.integrality_tol;
+  bool have_incumbent = false;
+  MilpSolution incumbent;
+  incumbent.objective_value = -LinearProgram::kInfinity;
+
+  std::priority_queue<Node> open;
+  {
+    Node root;
+    root.lower = mip.lp.lower;
+    root.upper = mip.lp.upper;
+    // Tighten integral variable bounds to integers immediately.
+    for (size_t j = 0; j < root.lower.size(); ++j) {
+      if (mip.integral[j]) {
+        root.lower[j] = std::ceil(root.lower[j] - tol);
+        if (std::isfinite(root.upper[j])) {
+          root.upper[j] = std::floor(root.upper[j] + tol);
+        }
+      }
+    }
+    root.bound = LinearProgram::kInfinity;
+    open.push(std::move(root));
+  }
+
+  size_t explored = 0;
+  while (!open.empty()) {
+    if (explored >= options.max_nodes) {
+      if (have_incumbent) break;  // return the best integral point found
+      return Status::Internal("branch-and-bound node limit exceeded without "
+                              "finding an integral solution");
+    }
+    Node node = open.top();
+    open.pop();
+    if (have_incumbent && node.bound <= incumbent.objective_value + 1e-9) {
+      continue;  // cannot beat the incumbent
+    }
+    ++explored;
+
+    LinearProgram relax = mip.lp;
+    relax.lower = node.lower;
+    relax.upper = node.upper;
+    auto lp_result = SolveLp(relax);
+    if (!lp_result.ok()) {
+      if (lp_result.status().code() == StatusCode::kInfeasible) continue;
+      return lp_result.status();
+    }
+    const LpSolution& sol = *lp_result;
+    if (have_incumbent &&
+        sol.objective_value <= incumbent.objective_value + 1e-9) {
+      continue;
+    }
+
+    const size_t frac_var = MostFractional(sol.x, mip.integral, tol);
+    if (frac_var == SIZE_MAX) {
+      // Integral: new incumbent. Round flagged variables exactly.
+      incumbent.x = sol.x;
+      for (size_t j = 0; j < incumbent.x.size(); ++j) {
+        if (mip.integral[j]) incumbent.x[j] = std::round(incumbent.x[j]);
+      }
+      incumbent.objective_value = 0.0;
+      for (size_t j = 0; j < incumbent.x.size(); ++j) {
+        incumbent.objective_value += mip.lp.objective[j] * incumbent.x[j];
+      }
+      have_incumbent = true;
+      continue;
+    }
+
+    // Branch: x_j <= floor(v) | x_j >= ceil(v).
+    const double v = sol.x[frac_var];
+    Node down = node;
+    down.upper[frac_var] = std::floor(v);
+    down.bound = sol.objective_value;
+    if (down.upper[frac_var] >= down.lower[frac_var] - tol) {
+      open.push(std::move(down));
+    }
+    Node up = node;
+    up.lower[frac_var] = std::ceil(v);
+    up.bound = sol.objective_value;
+    if (!std::isfinite(up.upper[frac_var]) ||
+        up.lower[frac_var] <= up.upper[frac_var] + tol) {
+      open.push(std::move(up));
+    }
+  }
+
+  if (!have_incumbent) {
+    return Status::Infeasible("no integral feasible solution exists");
+  }
+  incumbent.explored_nodes = explored;
+  return incumbent;
+}
+
+}  // namespace vaq

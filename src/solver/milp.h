@@ -1,0 +1,40 @@
+#ifndef VAQ_SOLVER_MILP_H_
+#define VAQ_SOLVER_MILP_H_
+
+#include <vector>
+
+#include "solver/lp.h"
+
+namespace vaq {
+
+/// A mixed-integer linear program: the LP of lp.h plus integrality flags.
+struct MixedIntegerProgram {
+  LinearProgram lp;
+  /// integral[j] == true forces x_j to take an integer value.
+  std::vector<bool> integral;
+};
+
+struct MilpOptions {
+  /// Hard cap on explored branch-and-bound nodes; the bit-allocation
+  /// problems solve in well under a thousand nodes.
+  size_t max_nodes = 200000;
+  /// Values within this distance of an integer count as integral.
+  double integrality_tol = 1e-6;
+};
+
+struct MilpSolution {
+  std::vector<double> x;
+  double objective_value = 0.0;
+  size_t explored_nodes = 0;
+};
+
+/// Branch-and-bound MILP solver over the dense simplex LP relaxation
+/// (best-bound-first search, branching on the most fractional variable).
+/// This is the "standard solver with branch and bound optimization" the
+/// paper invokes for the adaptive bit allocation (Section III-C).
+Result<MilpSolution> SolveMilp(const MixedIntegerProgram& mip,
+                               const MilpOptions& options = MilpOptions());
+
+}  // namespace vaq
+
+#endif  // VAQ_SOLVER_MILP_H_

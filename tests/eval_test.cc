@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+#include "eval/stats.h"
+
+namespace vaq {
+namespace {
+
+TEST(GroundTruthTest, FindsExactNeighborsOnTinySet) {
+  FloatMatrix base(4, 1, std::vector<float>{0.f, 1.f, 5.f, 10.f});
+  FloatMatrix queries(1, 1, std::vector<float>{0.9f});
+  auto gt = BruteForceKnn(base, queries, 2, 1);
+  ASSERT_TRUE(gt.ok());
+  ASSERT_EQ((*gt)[0].size(), 2u);
+  EXPECT_EQ((*gt)[0][0].id, 1);
+  EXPECT_EQ((*gt)[0][1].id, 0);
+  EXPECT_NEAR((*gt)[0][0].distance, 0.1f, 1e-5f);
+}
+
+TEST(GroundTruthTest, MultithreadedMatchesSingleThreaded) {
+  Rng rng(3);
+  FloatMatrix base(300, 8), queries(20, 8);
+  for (size_t i = 0; i < base.size(); ++i) {
+    base.data()[i] = static_cast<float>(rng.Gaussian());
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    queries.data()[i] = static_cast<float>(rng.Gaussian());
+  }
+  auto single = BruteForceKnn(base, queries, 5, 1);
+  auto multi = BruteForceKnn(base, queries, 5, 4);
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(multi.ok());
+  for (size_t q = 0; q < 20; ++q) {
+    for (size_t i = 0; i < 5; ++i) {
+      EXPECT_EQ((*single)[q][i].id, (*multi)[q][i].id);
+    }
+  }
+}
+
+TEST(GroundTruthTest, RejectsBadInputs) {
+  FloatMatrix base(5, 3, 1.f);
+  EXPECT_FALSE(BruteForceKnn(FloatMatrix(), base, 2).ok());
+  EXPECT_FALSE(BruteForceKnn(base, FloatMatrix(2, 4, 1.f), 2).ok());
+  EXPECT_FALSE(BruteForceKnn(base, base, 0).ok());
+}
+
+std::vector<Neighbor> MakeNeighbors(std::initializer_list<int64_t> ids) {
+  std::vector<Neighbor> out;
+  float d = 1.f;
+  for (int64_t id : ids) out.push_back({d++, id});
+  return out;
+}
+
+TEST(MetricsTest, PerfectRecall) {
+  const auto exact = MakeNeighbors({1, 2, 3});
+  EXPECT_DOUBLE_EQ(RecallSingle(exact, exact, 3), 1.0);
+  EXPECT_DOUBLE_EQ(AveragePrecisionSingle(exact, exact, 3), 1.0);
+}
+
+TEST(MetricsTest, PartialRecall) {
+  const auto exact = MakeNeighbors({1, 2, 3, 4});
+  const auto returned = MakeNeighbors({1, 9, 3, 8});
+  EXPECT_DOUBLE_EQ(RecallSingle(returned, exact, 4), 0.5);
+}
+
+TEST(MetricsTest, RecallIgnoresOrder) {
+  const auto exact = MakeNeighbors({1, 2, 3});
+  const auto reversed = MakeNeighbors({3, 2, 1});
+  EXPECT_DOUBLE_EQ(RecallSingle(reversed, exact, 3), 1.0);
+}
+
+TEST(MetricsTest, MapPenalizesLateHits) {
+  const auto exact = MakeNeighbors({1, 2});
+  // One true neighbor returned at rank 2 instead of rank 1 halves its
+  // precision contribution.
+  const auto late = MakeNeighbors({9, 1});
+  EXPECT_NEAR(AveragePrecisionSingle(late, exact, 2), (1.0 / 2.0) / 2.0,
+              1e-12);
+  const auto early = MakeNeighbors({1, 9});
+  EXPECT_NEAR(AveragePrecisionSingle(early, exact, 2), 1.0 / 2.0, 1e-12);
+  EXPECT_GT(AveragePrecisionSingle(early, exact, 2),
+            AveragePrecisionSingle(late, exact, 2));
+}
+
+TEST(MetricsTest, MapCapsAtKReturnedItems) {
+  const auto exact = MakeNeighbors({1, 2});
+  // A hit past rank k must not count.
+  const auto overlong = MakeNeighbors({9, 8, 1});
+  EXPECT_DOUBLE_EQ(AveragePrecisionSingle(overlong, exact, 2), 0.0);
+}
+
+TEST(MetricsTest, WorkloadAverages) {
+  const auto exact = MakeNeighbors({1, 2});
+  const auto hit = MakeNeighbors({1, 2});
+  const auto miss = MakeNeighbors({8, 9});
+  EXPECT_DOUBLE_EQ(Recall({hit, miss}, {exact, exact}, 2), 0.5);
+  EXPECT_DOUBLE_EQ(MeanAveragePrecision({hit, miss}, {exact, exact}, 2), 0.5);
+}
+
+TEST(StatsTest, RanksWithTies) {
+  const auto ranks = RankDescending({10.0, 20.0, 10.0, 5.0});
+  EXPECT_DOUBLE_EQ(ranks[1], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[0], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(StatsTest, WilcoxonDetectsConsistentImprovement) {
+  Rng rng(7);
+  std::vector<double> a(60), b(60);
+  for (size_t i = 0; i < 60; ++i) {
+    b[i] = rng.NextDouble();
+    a[i] = b[i] + 0.05 + 0.01 * rng.NextDouble();  // a consistently higher
+  }
+  auto result = WilcoxonSignedRank(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->p_value, 0.01);
+}
+
+TEST(StatsTest, WilcoxonNoDifference) {
+  Rng rng(11);
+  std::vector<double> a(60), b(60);
+  for (size_t i = 0; i < 60; ++i) {
+    a[i] = rng.NextDouble();
+    b[i] = rng.NextDouble();
+  }
+  auto result = WilcoxonSignedRank(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->p_value, 0.01);
+}
+
+TEST(StatsTest, WilcoxonRejectsDegenerateInput) {
+  EXPECT_FALSE(WilcoxonSignedRank({1, 2}, {1, 2, 3}).ok());
+  EXPECT_FALSE(WilcoxonSignedRank({1, 1, 1}, {1, 1, 1}).ok());
+}
+
+TEST(StatsTest, FriedmanDetectsDominantMethod) {
+  // Method 0 always best, method 2 always worst across 30 datasets.
+  DoubleMatrix scores(30, 3);
+  Rng rng(13);
+  for (size_t i = 0; i < 30; ++i) {
+    scores(i, 0) = 0.9 + 0.01 * rng.NextDouble();
+    scores(i, 1) = 0.7 + 0.01 * rng.NextDouble();
+    scores(i, 2) = 0.5 + 0.01 * rng.NextDouble();
+  }
+  auto result = FriedmanTest(scores);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->p_value, 0.001);
+  EXPECT_NEAR(result->average_ranks[0], 1.0, 1e-9);
+  EXPECT_NEAR(result->average_ranks[2], 3.0, 1e-9);
+}
+
+TEST(StatsTest, FriedmanNullCase) {
+  DoubleMatrix scores(40, 3);
+  Rng rng(17);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    scores.data()[i] = rng.NextDouble();
+  }
+  auto result = FriedmanTest(scores);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->p_value, 0.01);
+}
+
+TEST(StatsTest, NemenyiCriticalDifference) {
+  // Demsar's example regime: k methods over N datasets; CD shrinks with N.
+  auto cd_small = NemenyiCriticalDifference(4, 20);
+  auto cd_large = NemenyiCriticalDifference(4, 200);
+  ASSERT_TRUE(cd_small.ok());
+  ASSERT_TRUE(cd_large.ok());
+  EXPECT_GT(*cd_small, *cd_large);
+  // Known value: k=2, N=100 -> 1.96 * sqrt(2*3/(6*100)) = 0.196.
+  auto cd = NemenyiCriticalDifference(2, 100);
+  ASSERT_TRUE(cd.ok());
+  EXPECT_NEAR(*cd, 0.196, 1e-3);
+}
+
+TEST(StatsTest, NemenyiRejectsOutOfTable) {
+  EXPECT_FALSE(NemenyiCriticalDifference(1, 10).ok());
+  EXPECT_FALSE(NemenyiCriticalDifference(21, 10).ok());
+  EXPECT_FALSE(NemenyiCriticalDifference(3, 1).ok());
+}
+
+TEST(StatsTest, NormalAndChiSquaredSurvival) {
+  EXPECT_NEAR(NormalSf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalSf(1.96), 0.025, 1e-3);
+  EXPECT_NEAR(ChiSquaredSf(0.0, 3), 1.0, 1e-12);
+  // chi2 with 2 dof: SF(x) = exp(-x/2); SF(4) ~ 0.1353.
+  EXPECT_NEAR(ChiSquaredSf(4.0, 2), std::exp(-2.0), 1e-6);
+}
+
+}  // namespace
+}  // namespace vaq

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datasets/synthetic.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+#include "index/dstree.h"
+#include "index/hnsw.h"
+#include "index/imi.h"
+#include "index/isax.h"
+#include "quant/pq.h"
+
+namespace vaq {
+namespace {
+
+struct IndexFixtureData {
+  FloatMatrix base;
+  FloatMatrix queries;
+  std::vector<std::vector<Neighbor>> ground_truth;
+};
+
+const IndexFixtureData& SeriesData() {
+  static const IndexFixtureData* data = [] {
+    auto* d = new IndexFixtureData();
+    d->base = GenerateSynthetic(SyntheticKind::kSaldLike, 2000, 7);
+    d->queries = GenerateSyntheticQueries(SyntheticKind::kSaldLike, 10, 7,
+                                          0.05);
+    auto gt = BruteForceKnn(d->base, d->queries, 10, 1);
+    d->ground_truth = std::move(*gt);
+    return d;
+  }();
+  return *data;
+}
+
+TEST(HnswTest, HighRecallWithLargeEf) {
+  HnswOptions opts;
+  opts.m = 12;
+  opts.ef_construction = 100;
+  HnswIndex hnsw;
+  ASSERT_TRUE(hnsw.Build(SeriesData().base, opts).ok());
+  std::vector<std::vector<Neighbor>> results(SeriesData().queries.rows());
+  for (size_t q = 0; q < results.size(); ++q) {
+    ASSERT_TRUE(
+        hnsw.Search(SeriesData().queries.row(q), 10, 128, &results[q]).ok());
+  }
+  EXPECT_GT(Recall(results, SeriesData().ground_truth, 10), 0.8);
+}
+
+TEST(HnswTest, EfImprovesRecall) {
+  HnswOptions opts;
+  opts.m = 8;
+  opts.ef_construction = 60;
+  HnswIndex hnsw;
+  ASSERT_TRUE(hnsw.Build(SeriesData().base, opts).ok());
+  auto recall_at = [&](size_t ef) {
+    std::vector<std::vector<Neighbor>> results(SeriesData().queries.rows());
+    for (size_t q = 0; q < results.size(); ++q) {
+      EXPECT_TRUE(
+          hnsw.Search(SeriesData().queries.row(q), 10, ef, &results[q]).ok());
+    }
+    return Recall(results, SeriesData().ground_truth, 10);
+  };
+  EXPECT_GE(recall_at(96) + 0.05, recall_at(12));
+}
+
+TEST(HnswTest, ReturnsSortedDistances) {
+  HnswOptions opts;
+  opts.m = 8;
+  HnswIndex hnsw;
+  ASSERT_TRUE(hnsw.Build(SeriesData().base, opts).ok());
+  std::vector<Neighbor> result;
+  ASSERT_TRUE(hnsw.Search(SeriesData().queries.row(0), 10, 64, &result).ok());
+  ASSERT_EQ(result.size(), 10u);
+  for (size_t i = 1; i < result.size(); ++i) {
+    EXPECT_LE(result[i - 1].distance, result[i].distance);
+  }
+}
+
+TEST(HnswTest, ExactMatchFindsItself) {
+  HnswOptions opts;
+  HnswIndex hnsw;
+  ASSERT_TRUE(hnsw.Build(SeriesData().base, opts).ok());
+  std::vector<Neighbor> result;
+  ASSERT_TRUE(hnsw.Search(SeriesData().base.row(17), 1, 64, &result).ok());
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].id, 17);
+  EXPECT_NEAR(result[0].distance, 0.f, 1e-4f);
+}
+
+TEST(HnswTest, RejectsBadInputs) {
+  HnswIndex hnsw;
+  EXPECT_FALSE(hnsw.Build(FloatMatrix(), HnswOptions()).ok());
+  HnswOptions opts;
+  opts.m = 1;
+  EXPECT_FALSE(hnsw.Build(SeriesData().base, opts).ok());
+  std::vector<Neighbor> out;
+  HnswIndex empty;
+  EXPECT_FALSE(empty.Search(SeriesData().queries.row(0), 5, 16, &out).ok());
+}
+
+TEST(ImiTest, UnlimitedBudgetMatchesPqScan) {
+  ImiOptions opts;
+  opts.coarse_k = 16;
+  opts.num_subspaces = 8;
+  opts.bits_per_subspace = 6;
+  opts.kmeans_iters = 8;
+  opts.seed = 50;
+  InvertedMultiIndex imi(opts);
+  ASSERT_TRUE(imi.Train(SeriesData().base).ok());
+
+  PqOptions pq_opts;
+  pq_opts.num_subspaces = 8;
+  pq_opts.bits_per_subspace = 6;
+  pq_opts.kmeans_iters = 8;
+  pq_opts.seed = 52;  // IMI trains fine PQ with seed + 2
+  ProductQuantizer pq(pq_opts);
+  ASSERT_TRUE(pq.Train(SeriesData().base).ok());
+
+  for (size_t q = 0; q < SeriesData().queries.rows(); ++q) {
+    std::vector<Neighbor> a, b;
+    ASSERT_TRUE(imi.SearchWithBudget(SeriesData().queries.row(q), 10,
+                                     SeriesData().base.rows() * 2, &a)
+                    .ok());
+    ASSERT_TRUE(pq.Search(SeriesData().queries.row(q), 10, &b).ok());
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id) << "q=" << q;
+    }
+  }
+}
+
+TEST(ImiTest, BudgetTradesRecallForWork) {
+  ImiOptions opts;
+  opts.coarse_k = 16;
+  opts.num_subspaces = 8;
+  opts.bits_per_subspace = 6;
+  opts.kmeans_iters = 8;
+  InvertedMultiIndex imi(opts);
+  ASSERT_TRUE(imi.Train(SeriesData().base).ok());
+  auto recall_at = [&](size_t budget) {
+    std::vector<std::vector<Neighbor>> results(SeriesData().queries.rows());
+    for (size_t q = 0; q < results.size(); ++q) {
+      EXPECT_TRUE(imi.SearchWithBudget(SeriesData().queries.row(q), 10,
+                                       budget, &results[q])
+                      .ok());
+    }
+    return Recall(results, SeriesData().ground_truth, 10);
+  };
+  EXPECT_GE(recall_at(2000) + 1e-9, recall_at(100));
+}
+
+TEST(ImiTest, RejectsBadInputs) {
+  InvertedMultiIndex imi;
+  EXPECT_FALSE(imi.Train(FloatMatrix(10, 1, 1.f)).ok());
+  std::vector<Neighbor> out;
+  EXPECT_FALSE(imi.Search(SeriesData().queries.row(0), 5, &out).ok());
+}
+
+TEST(IsaxTest, ExactModeMatchesBruteForce) {
+  // With no leaf budget and epsilon 0 the traversal is an exact search.
+  IsaxOptions opts;
+  opts.word_length = 16;
+  opts.leaf_capacity = 64;
+  IsaxIndex isax;
+  ASSERT_TRUE(isax.Build(SeriesData().base, opts).ok());
+  for (size_t q = 0; q < SeriesData().queries.rows(); ++q) {
+    std::vector<Neighbor> result;
+    ASSERT_TRUE(
+        isax.Search(SeriesData().queries.row(q), 10, 0, 0.0, &result).ok());
+    ASSERT_EQ(result.size(), 10u);
+    for (size_t i = 0; i < 10; ++i) {
+      EXPECT_EQ(result[i].id, SeriesData().ground_truth[q][i].id)
+          << "q=" << q << " i=" << i;
+    }
+  }
+}
+
+TEST(IsaxTest, LeafBudgetApproximation) {
+  IsaxOptions opts;
+  opts.word_length = 16;
+  opts.leaf_capacity = 64;
+  IsaxIndex isax;
+  ASSERT_TRUE(isax.Build(SeriesData().base, opts).ok());
+  EXPECT_GT(isax.num_leaves(), 4u);
+  std::vector<std::vector<Neighbor>> results(SeriesData().queries.rows());
+  for (size_t q = 0; q < results.size(); ++q) {
+    ASSERT_TRUE(isax.Search(SeriesData().queries.row(q), 10, 5, 0.0,
+                            &results[q])
+                    .ok());
+  }
+  // Visiting only 5 leaves still finds a good share of true neighbors.
+  EXPECT_GT(Recall(results, SeriesData().ground_truth, 10), 0.2);
+}
+
+TEST(IsaxTest, EpsilonRelaxesPruning) {
+  IsaxOptions opts;
+  opts.word_length = 8;
+  opts.leaf_capacity = 128;
+  IsaxIndex isax;
+  ASSERT_TRUE(isax.Build(SeriesData().base, opts).ok());
+  std::vector<Neighbor> tight, loose;
+  ASSERT_TRUE(
+      isax.Search(SeriesData().queries.row(0), 10, 0, 0.0, &tight).ok());
+  ASSERT_TRUE(
+      isax.Search(SeriesData().queries.row(0), 10, 0, 2.0, &loose).ok());
+  // Relaxed pruning cannot return a better top distance than exact.
+  EXPECT_GE(loose[0].distance + 1e-5f, tight[0].distance);
+}
+
+TEST(IsaxTest, RejectsBadInputs) {
+  IsaxIndex isax;
+  EXPECT_FALSE(isax.Build(FloatMatrix(), IsaxOptions()).ok());
+  IsaxOptions opts;
+  opts.word_length = 0;
+  EXPECT_FALSE(isax.Build(SeriesData().base, opts).ok());
+  std::vector<Neighbor> out;
+  IsaxIndex empty;
+  EXPECT_FALSE(
+      empty.Search(SeriesData().queries.row(0), 5, 0, 0.0, &out).ok());
+}
+
+TEST(DsTreeTest, ExactModeMatchesBruteForce) {
+  DsTreeOptions opts;
+  opts.num_segments = 8;
+  opts.leaf_capacity = 64;
+  DsTreeIndex tree;
+  ASSERT_TRUE(tree.Build(SeriesData().base, opts).ok());
+  for (size_t q = 0; q < SeriesData().queries.rows(); ++q) {
+    std::vector<Neighbor> result;
+    ASSERT_TRUE(
+        tree.Search(SeriesData().queries.row(q), 10, 0, 0.0, &result).ok());
+    ASSERT_EQ(result.size(), 10u);
+    for (size_t i = 0; i < 10; ++i) {
+      EXPECT_EQ(result[i].id, SeriesData().ground_truth[q][i].id)
+          << "q=" << q << " i=" << i;
+    }
+  }
+}
+
+TEST(DsTreeTest, BuildsBalancedEnoughTree) {
+  DsTreeOptions opts;
+  opts.num_segments = 8;
+  opts.leaf_capacity = 64;
+  DsTreeIndex tree;
+  ASSERT_TRUE(tree.Build(SeriesData().base, opts).ok());
+  EXPECT_GT(tree.num_leaves(), SeriesData().base.rows() / 256);
+}
+
+TEST(DsTreeTest, LeafBudgetApproximation) {
+  DsTreeOptions opts;
+  opts.num_segments = 8;
+  opts.leaf_capacity = 64;
+  DsTreeIndex tree;
+  ASSERT_TRUE(tree.Build(SeriesData().base, opts).ok());
+  std::vector<std::vector<Neighbor>> results(SeriesData().queries.rows());
+  for (size_t q = 0; q < results.size(); ++q) {
+    ASSERT_TRUE(tree.Search(SeriesData().queries.row(q), 10, 5, 0.0,
+                            &results[q])
+                    .ok());
+  }
+  EXPECT_GT(Recall(results, SeriesData().ground_truth, 10), 0.2);
+}
+
+TEST(DsTreeTest, RejectsBadInputs) {
+  DsTreeIndex tree;
+  EXPECT_FALSE(tree.Build(FloatMatrix(), DsTreeOptions()).ok());
+  DsTreeOptions opts;
+  opts.num_segments = 0;
+  EXPECT_FALSE(tree.Build(SeriesData().base, opts).ok());
+  std::vector<Neighbor> out;
+  DsTreeIndex empty;
+  EXPECT_FALSE(
+      empty.Search(SeriesData().queries.row(0), 5, 0, 0.0, &out).ok());
+}
+
+}  // namespace
+}  // namespace vaq

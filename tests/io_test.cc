@@ -1,0 +1,87 @@
+#include "common/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace vaq {
+namespace {
+
+TEST(IoTest, PodRoundtrip) {
+  std::stringstream ss;
+  WritePod<uint64_t>(ss, 0xDEADBEEFCAFEBABEULL);
+  WritePod<double>(ss, 3.25);
+  uint64_t u = 0;
+  double d = 0;
+  ASSERT_TRUE(ReadPod(ss, &u).ok());
+  ASSERT_TRUE(ReadPod(ss, &d).ok());
+  EXPECT_EQ(u, 0xDEADBEEFCAFEBABEULL);
+  EXPECT_DOUBLE_EQ(d, 3.25);
+}
+
+TEST(IoTest, PodShortReadFails) {
+  std::stringstream ss;
+  WritePod<uint16_t>(ss, 5);
+  uint64_t u = 0;
+  EXPECT_EQ(ReadPod(ss, &u).code(), StatusCode::kIoError);
+}
+
+TEST(IoTest, VectorRoundtrip) {
+  std::stringstream ss;
+  const std::vector<int32_t> v = {1, -2, 3};
+  WriteVector(ss, v);
+  std::vector<int32_t> out;
+  ASSERT_TRUE(ReadVector(ss, &out).ok());
+  EXPECT_EQ(out, v);
+}
+
+TEST(IoTest, EmptyVectorRoundtrip) {
+  std::stringstream ss;
+  WriteVector(ss, std::vector<float>{});
+  std::vector<float> out = {1.f};
+  ASSERT_TRUE(ReadVector(ss, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IoTest, MatrixRoundtrip) {
+  std::stringstream ss;
+  FloatMatrix m(2, 3, std::vector<float>{1, 2, 3, 4, 5, 6});
+  WriteMatrix(ss, m);
+  FloatMatrix out;
+  ASSERT_TRUE(ReadMatrix(ss, &out).ok());
+  EXPECT_TRUE(out == m);
+}
+
+TEST(IoTest, StringRoundtrip) {
+  std::stringstream ss;
+  WriteString(ss, "hello world");
+  std::string out;
+  ASSERT_TRUE(ReadString(ss, &out).ok());
+  EXPECT_EQ(out, "hello world");
+}
+
+TEST(IoTest, MagicMatch) {
+  std::stringstream ss;
+  const char magic[8] = {'T', 'E', 'S', 'T', '0', '0', '0', '1'};
+  WriteMagic(ss, magic);
+  EXPECT_TRUE(CheckMagic(ss, magic).ok());
+}
+
+TEST(IoTest, MagicMismatch) {
+  std::stringstream ss;
+  const char magic[8] = {'T', 'E', 'S', 'T', '0', '0', '0', '1'};
+  const char other[8] = {'N', 'O', 'P', 'E', '0', '0', '0', '1'};
+  WriteMagic(ss, magic);
+  EXPECT_EQ(CheckMagic(ss, other).code(), StatusCode::kIoError);
+}
+
+TEST(IoTest, TruncatedMatrixFails) {
+  std::stringstream ss;
+  WritePod<uint64_t>(ss, 10);  // rows
+  WritePod<uint64_t>(ss, 10);  // cols, but no payload
+  FloatMatrix out;
+  EXPECT_EQ(ReadMatrix(ss, &out).code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace vaq

@@ -1,0 +1,108 @@
+#include "common/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vaq {
+namespace {
+
+TEST(MatrixTest, ConstructAndAccess) {
+  FloatMatrix m(3, 4, 1.5f);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  EXPECT_FLOAT_EQ(m(2, 3), 1.5f);
+  m(1, 2) = 7.f;
+  EXPECT_FLOAT_EQ(m.at(1, 2), 7.f);
+}
+
+TEST(MatrixTest, FromFlatBuffer) {
+  FloatMatrix m(2, 3, std::vector<float>{1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(m(0, 0), 1.f);
+  EXPECT_FLOAT_EQ(m(1, 2), 6.f);
+}
+
+TEST(MatrixTest, RowPointerIsContiguous) {
+  FloatMatrix m(2, 3, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const float* row1 = m.row(1);
+  EXPECT_FLOAT_EQ(row1[0], 4.f);
+  EXPECT_FLOAT_EQ(row1[2], 6.f);
+  EXPECT_EQ(row1, m.data() + 3);
+}
+
+TEST(MatrixTest, ResizeClears) {
+  FloatMatrix m(2, 2, 9.f);
+  m.Resize(3, 3);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_FLOAT_EQ(m(0, 0), 0.f);
+}
+
+TEST(MatrixTest, SliceColumns) {
+  FloatMatrix m(2, 4, std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8});
+  FloatMatrix s = m.SliceColumns(1, 2);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s.cols(), 2u);
+  EXPECT_FLOAT_EQ(s(0, 0), 2.f);
+  EXPECT_FLOAT_EQ(s(1, 1), 7.f);
+}
+
+TEST(MatrixTest, GatherRows) {
+  FloatMatrix m(3, 2, std::vector<float>{1, 2, 3, 4, 5, 6});
+  FloatMatrix g = m.GatherRows({2, 0});
+  EXPECT_EQ(g.rows(), 2u);
+  EXPECT_FLOAT_EQ(g(0, 0), 5.f);
+  EXPECT_FLOAT_EQ(g(1, 1), 2.f);
+}
+
+TEST(MatrixTest, PermuteColumns) {
+  FloatMatrix m(2, 3, std::vector<float>{1, 2, 3, 4, 5, 6});
+  FloatMatrix p = m.PermuteColumns({2, 0, 1});
+  EXPECT_FLOAT_EQ(p(0, 0), 3.f);
+  EXPECT_FLOAT_EQ(p(0, 1), 1.f);
+  EXPECT_FLOAT_EQ(p(0, 2), 2.f);
+  EXPECT_FLOAT_EQ(p(1, 0), 6.f);
+}
+
+TEST(MatrixTest, Equality) {
+  FloatMatrix a(2, 2, 1.f);
+  FloatMatrix b(2, 2, 1.f);
+  FloatMatrix c(2, 2, 2.f);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(MatrixTest, CodeMatrixHoldsUint16) {
+  CodeMatrix codes(2, 3, uint16_t{65535});
+  EXPECT_EQ(codes(1, 2), 65535);
+}
+
+TEST(SquaredL2Test, KnownValues) {
+  const float a[] = {0.f, 0.f, 0.f};
+  const float b[] = {1.f, 2.f, 2.f};
+  EXPECT_FLOAT_EQ(SquaredL2(a, b, 3), 9.f);
+  EXPECT_FLOAT_EQ(SquaredL2(a, a, 3), 0.f);
+}
+
+TEST(SquaredL2Test, HandlesNonMultipleOfFourLengths) {
+  // Exercises both the unrolled body and the scalar tail.
+  for (size_t d : {1u, 3u, 4u, 5u, 7u, 8u, 13u}) {
+    std::vector<float> a(d), b(d);
+    float expected = 0.f;
+    for (size_t i = 0; i < d; ++i) {
+      a[i] = static_cast<float>(i);
+      b[i] = static_cast<float>(2 * i + 1);
+      const float diff = a[i] - b[i];
+      expected += diff * diff;
+    }
+    EXPECT_FLOAT_EQ(SquaredL2(a.data(), b.data(), d), expected) << "d=" << d;
+  }
+}
+
+TEST(SquaredNormTest, MatchesDefinition) {
+  const float v[] = {3.f, 4.f};
+  EXPECT_FLOAT_EQ(SquaredNorm(v, 2), 25.f);
+}
+
+}  // namespace
+}  // namespace vaq

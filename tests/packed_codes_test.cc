@@ -1,0 +1,100 @@
+#include "core/packed_codes.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace vaq {
+namespace {
+
+CodeMatrix RandomCodes(size_t n, const std::vector<int>& bits,
+                       uint64_t seed) {
+  Rng rng(seed);
+  CodeMatrix codes(n, bits.size());
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t s = 0; s < bits.size(); ++s) {
+      codes(r, s) =
+          static_cast<uint16_t>(rng.NextIndex(uint64_t{1} << bits[s]));
+    }
+  }
+  return codes;
+}
+
+TEST(PackedCodesTest, RoundtripUniformWidths) {
+  const std::vector<int> bits = {8, 8, 8, 8};
+  const CodeMatrix codes = RandomCodes(100, bits, 1);
+  auto packed = PackedCodes::Pack(codes, bits);
+  ASSERT_TRUE(packed.ok());
+  EXPECT_EQ(packed->row_bytes(), 4u);  // 32 bits -> 4 bytes exactly
+  EXPECT_TRUE(packed->Unpack() == codes);
+}
+
+TEST(PackedCodesTest, RoundtripVariableWidths) {
+  // The VAQ case: widths spanning the full supported range, non-byte-
+  // aligned total (13+11+7+3+1 = 35 bits -> 5 bytes).
+  const std::vector<int> bits = {13, 11, 7, 3, 1};
+  const CodeMatrix codes = RandomCodes(500, bits, 3);
+  auto packed = PackedCodes::Pack(codes, bits);
+  ASSERT_TRUE(packed.ok());
+  EXPECT_EQ(packed->total_bits_per_row(), 35u);
+  EXPECT_EQ(packed->row_bytes(), 5u);
+  EXPECT_TRUE(packed->Unpack() == codes);
+}
+
+TEST(PackedCodesTest, StorageMatchesBudgetExactly) {
+  // A 256-bit budget over 32 subspaces stores 32 bytes per vector no
+  // matter how the bits are split.
+  const std::vector<int> uniform(32, 8);
+  std::vector<int> skewed(32, 4);
+  // 13+13+12+... adjust to sum 256: give the first 16 subspaces 12 bits
+  // and the rest 4: 16*12 + 16*4 = 256.
+  for (size_t i = 0; i < 16; ++i) skewed[i] = 12;
+  for (const auto& bits : {uniform, skewed}) {
+    const CodeMatrix codes = RandomCodes(10, bits, 7);
+    auto packed = PackedCodes::Pack(codes, bits);
+    ASSERT_TRUE(packed.ok());
+    EXPECT_EQ(packed->total_bits_per_row(), 256u);
+    EXPECT_EQ(packed->row_bytes(), 32u);
+    EXPECT_TRUE(packed->Unpack() == codes);
+  }
+}
+
+TEST(PackedCodesTest, SingleRowUnpack) {
+  const std::vector<int> bits = {5, 9, 2};
+  const CodeMatrix codes = RandomCodes(20, bits, 11);
+  auto packed = PackedCodes::Pack(codes, bits);
+  ASSERT_TRUE(packed.ok());
+  std::vector<uint16_t> row(3);
+  for (size_t r = 0; r < 20; ++r) {
+    packed->UnpackRow(r, row.data());
+    for (size_t s = 0; s < 3; ++s) {
+      EXPECT_EQ(row[s], codes(r, s)) << r << "," << s;
+    }
+  }
+}
+
+TEST(PackedCodesTest, RejectsOutOfRangeValues) {
+  CodeMatrix codes(1, 2);
+  codes(0, 0) = 4;  // needs 3 bits
+  codes(0, 1) = 1;
+  EXPECT_FALSE(PackedCodes::Pack(codes, {2, 2}).ok());
+  EXPECT_TRUE(PackedCodes::Pack(codes, {3, 2}).ok());
+}
+
+TEST(PackedCodesTest, RejectsBadWidths) {
+  const CodeMatrix codes(2, 2, uint16_t{0});
+  EXPECT_FALSE(PackedCodes::Pack(codes, {8}).ok());      // width mismatch
+  EXPECT_FALSE(PackedCodes::Pack(codes, {0, 8}).ok());   // zero bits
+  EXPECT_FALSE(PackedCodes::Pack(codes, {17, 8}).ok());  // too wide
+}
+
+TEST(PackedCodesTest, EmptyMatrix) {
+  const CodeMatrix codes(0, 3, uint16_t{0});
+  auto packed = PackedCodes::Pack(codes, {4, 4, 4});
+  ASSERT_TRUE(packed.ok());
+  EXPECT_EQ(packed->rows(), 0u);
+  EXPECT_EQ(packed->Unpack().rows(), 0u);
+}
+
+}  // namespace
+}  // namespace vaq

@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.h"
+#include "solver/lp.h"
+#include "solver/milp.h"
+
+namespace vaq {
+namespace {
+
+LinearProgram TwoVarLp() {
+  // maximize 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0.
+  // Optimum: x=4, y=0, value 12.
+  LinearProgram lp;
+  lp.objective = {3, 2};
+  lp.lower = {0, 0};
+  lp.upper = {LinearProgram::kInfinity, LinearProgram::kInfinity};
+  lp.constraints.push_back({{1, 1}, Relation::kLessEqual, 4});
+  lp.constraints.push_back({{1, 3}, Relation::kLessEqual, 6});
+  return lp;
+}
+
+TEST(LpTest, SolvesTwoVariableProblem) {
+  auto sol = SolveLp(TwoVarLp());
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective_value, 12.0, 1e-6);
+  EXPECT_NEAR(sol->x[0], 4.0, 1e-6);
+  EXPECT_NEAR(sol->x[1], 0.0, 1e-6);
+}
+
+TEST(LpTest, InteriorOptimum) {
+  // maximize x + y s.t. x + y <= 4, x <= 2, y <= 3 -> (2, 2) among optima,
+  // value 4.
+  LinearProgram lp;
+  lp.objective = {1, 1};
+  lp.lower = {0, 0};
+  lp.upper = {2, 3};
+  lp.constraints.push_back({{1, 1}, Relation::kLessEqual, 4});
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective_value, 4.0, 1e-6);
+}
+
+TEST(LpTest, EqualityConstraint) {
+  // maximize x s.t. x + y == 5, y >= 2 -> x = 3.
+  LinearProgram lp;
+  lp.objective = {1, 0};
+  lp.lower = {0, 2};
+  lp.upper = {LinearProgram::kInfinity, LinearProgram::kInfinity};
+  lp.constraints.push_back({{1, 1}, Relation::kEqual, 5});
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0], 3.0, 1e-6);
+  EXPECT_NEAR(sol->x[1], 2.0, 1e-6);
+}
+
+TEST(LpTest, GreaterEqualConstraint) {
+  // minimize x (maximize -x) s.t. x >= 7.
+  LinearProgram lp;
+  lp.objective = {-1};
+  lp.lower = {0};
+  lp.upper = {LinearProgram::kInfinity};
+  lp.constraints.push_back({{1}, Relation::kGreaterEqual, 7});
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0], 7.0, 1e-6);
+}
+
+TEST(LpTest, DetectsInfeasible) {
+  LinearProgram lp;
+  lp.objective = {1};
+  lp.lower = {0};
+  lp.upper = {1};
+  lp.constraints.push_back({{1}, Relation::kGreaterEqual, 5});
+  auto sol = SolveLp(lp);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(LpTest, DetectsUnbounded) {
+  LinearProgram lp;
+  lp.objective = {1};
+  lp.lower = {0};
+  lp.upper = {LinearProgram::kInfinity};
+  auto sol = SolveLp(lp);
+  ASSERT_FALSE(sol.ok());
+}
+
+TEST(LpTest, NonZeroLowerBounds) {
+  // maximize -x - y with x >= 2, y >= 3: optimum at (2, 3).
+  LinearProgram lp;
+  lp.objective = {-1, -1};
+  lp.lower = {2, 3};
+  lp.upper = {10, 10};
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0], 2.0, 1e-6);
+  EXPECT_NEAR(sol->x[1], 3.0, 1e-6);
+}
+
+TEST(LpTest, ValidatesShapes) {
+  LinearProgram lp;
+  lp.objective = {};
+  EXPECT_FALSE(SolveLp(lp).ok());
+
+  lp.objective = {1};
+  lp.lower = {0, 0};  // mismatch
+  lp.upper = {1, 1};
+  EXPECT_FALSE(SolveLp(lp).ok());
+
+  lp.lower = {2};
+  lp.upper = {1};  // lower > upper
+  EXPECT_FALSE(SolveLp(lp).ok());
+}
+
+TEST(LpTest, RejectsFreeVariables) {
+  LinearProgram lp;
+  lp.objective = {1};
+  lp.lower = {-LinearProgram::kInfinity};
+  lp.upper = {1};
+  EXPECT_FALSE(SolveLp(lp).ok());
+}
+
+TEST(LpTest, NegativeRhsNormalization) {
+  // x <= -2 with x in [-5, 0] -> optimum of max x is -2.
+  LinearProgram lp;
+  lp.objective = {1};
+  lp.lower = {-5};
+  lp.upper = {0};
+  lp.constraints.push_back({{1}, Relation::kLessEqual, -2});
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0], -2.0, 1e-6);
+}
+
+TEST(MilpTest, SimpleKnapsack) {
+  // maximize 5a + 4b + 3c, 2a + 3b + c <= 5, binary -> a=1, c=1, b=0 -> 8...
+  // check: a=1,b=1,c=0: cost 5, value 9. So optimum is 9.
+  MixedIntegerProgram mip;
+  mip.lp.objective = {5, 4, 3};
+  mip.lp.lower = {0, 0, 0};
+  mip.lp.upper = {1, 1, 1};
+  mip.lp.constraints.push_back({{2, 3, 1}, Relation::kLessEqual, 5});
+  mip.integral = {true, true, true};
+  auto sol = SolveMilp(mip);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective_value, 9.0, 1e-6);
+}
+
+TEST(MilpTest, IntegralityEnforced) {
+  // LP relaxation optimum is fractional (x = 3.5); MILP must round down.
+  MixedIntegerProgram mip;
+  mip.lp.objective = {1};
+  mip.lp.lower = {0};
+  mip.lp.upper = {10};
+  mip.lp.constraints.push_back({{2}, Relation::kLessEqual, 7});
+  mip.integral = {true};
+  auto sol = SolveMilp(mip);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0], 3.0, 1e-9);
+}
+
+TEST(MilpTest, MixedIntegerAndContinuous) {
+  // maximize x + y, x integer, x + y <= 3.5, x <= 2.7 -> x=2, y=1.5.
+  MixedIntegerProgram mip;
+  mip.lp.objective = {1, 1};
+  mip.lp.lower = {0, 0};
+  mip.lp.upper = {2.7, 10};
+  mip.lp.constraints.push_back({{1, 1}, Relation::kLessEqual, 3.5});
+  mip.integral = {true, false};
+  auto sol = SolveMilp(mip);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective_value, 3.5, 1e-6);
+  EXPECT_NEAR(sol->x[0], std::round(sol->x[0]), 1e-9);
+}
+
+TEST(MilpTest, EqualityBudgetProblem) {
+  // The bit-allocation shape: sum y == 10, 1 <= y_i <= 6, maximize
+  // weighted sum -> most important gets its cap.
+  MixedIntegerProgram mip;
+  mip.lp.objective = {0.7, 0.2, 0.1};
+  mip.lp.lower = {1, 1, 1};
+  mip.lp.upper = {6, 6, 6};
+  mip.lp.constraints.push_back({{1, 1, 1}, Relation::kEqual, 10});
+  mip.integral = {true, true, true};
+  auto sol = SolveMilp(mip);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0], 6.0, 1e-9);
+  EXPECT_NEAR(sol->x[1], 3.0, 1e-9);
+  EXPECT_NEAR(sol->x[2], 1.0, 1e-9);
+}
+
+TEST(MilpTest, DetectsInfeasible) {
+  MixedIntegerProgram mip;
+  mip.lp.objective = {1};
+  mip.lp.lower = {0};
+  mip.lp.upper = {10};
+  // 2x == 3 has no integer solution.
+  mip.lp.constraints.push_back({{2}, Relation::kEqual, 3});
+  mip.integral = {true};
+  auto sol = SolveMilp(mip);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(MilpTest, ValidatesFlagWidth) {
+  MixedIntegerProgram mip;
+  mip.lp.objective = {1, 1};
+  mip.lp.lower = {0, 0};
+  mip.lp.upper = {1, 1};
+  mip.integral = {true};  // wrong width
+  EXPECT_FALSE(SolveMilp(mip).ok());
+}
+
+/// Brute-force oracle for random small integer programs.
+double BruteForceMilp(const MixedIntegerProgram& mip) {
+  const size_t n = mip.lp.num_vars();
+  std::vector<int> x(n, 0);
+  double best = -1e300;
+  // All variables integer in [lower, upper], enumerate.
+  std::function<void(size_t)> rec = [&](size_t i) {
+    if (i == n) {
+      for (const auto& row : mip.lp.constraints) {
+        double lhs = 0;
+        for (size_t j = 0; j < n; ++j) lhs += row.coeffs[j] * x[j];
+        switch (row.relation) {
+          case Relation::kLessEqual:
+            if (lhs > row.rhs + 1e-9) return;
+            break;
+          case Relation::kGreaterEqual:
+            if (lhs < row.rhs - 1e-9) return;
+            break;
+          case Relation::kEqual:
+            if (std::fabs(lhs - row.rhs) > 1e-9) return;
+            break;
+        }
+      }
+      double val = 0;
+      for (size_t j = 0; j < n; ++j) val += mip.lp.objective[j] * x[j];
+      best = std::max(best, val);
+      return;
+    }
+    for (int v = static_cast<int>(mip.lp.lower[i]);
+         v <= static_cast<int>(mip.lp.upper[i]); ++v) {
+      x[i] = v;
+      rec(i + 1);
+    }
+  };
+  rec(0);
+  return best;
+}
+
+class MilpPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MilpPropertyTest, MatchesBruteForceOnRandomPrograms) {
+  Rng rng(GetParam());
+  const size_t n = 2 + rng.NextIndex(3);  // 2..4 variables
+  MixedIntegerProgram mip;
+  mip.lp.objective.resize(n);
+  for (double& c : mip.lp.objective) c = rng.Uniform(-3, 5);
+  mip.lp.lower.assign(n, 0.0);
+  mip.lp.upper.assign(n, 4.0);
+  mip.integral.assign(n, true);
+  const size_t rows = 1 + rng.NextIndex(3);
+  for (size_t r = 0; r < rows; ++r) {
+    LinearConstraint row;
+    row.coeffs.resize(n);
+    for (double& c : row.coeffs) c = rng.Uniform(0, 3);
+    row.relation = Relation::kLessEqual;
+    row.rhs = rng.Uniform(2, 12);
+    mip.lp.constraints.push_back(std::move(row));
+  }
+  const double oracle = BruteForceMilp(mip);
+  auto sol = SolveMilp(mip);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->objective_value, oracle, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, MilpPropertyTest,
+                         ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace vaq

@@ -1,0 +1,170 @@
+// Property tests for the statistical machinery behind Table II and
+// Figure 10 — invariants that hold for any input, checked on random data.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "eval/stats.h"
+
+namespace vaq {
+namespace {
+
+class RankPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankPropertyTest, RanksSumToTriangularNumber) {
+  Rng rng(GetParam());
+  const size_t n = 3 + rng.NextIndex(20);
+  std::vector<double> values(n);
+  for (auto& v : values) v = rng.NextDouble();
+  const auto ranks = RankDescending(values);
+  const double sum = std::accumulate(ranks.begin(), ranks.end(), 0.0);
+  EXPECT_NEAR(sum, static_cast<double>(n) * (n + 1) / 2.0, 1e-9);
+  for (double r : ranks) {
+    EXPECT_GE(r, 1.0);
+    EXPECT_LE(r, static_cast<double>(n));
+  }
+}
+
+TEST_P(RankPropertyTest, HigherValueNeverWorseRank) {
+  Rng rng(100 + GetParam());
+  const size_t n = 3 + rng.NextIndex(20);
+  std::vector<double> values(n);
+  for (auto& v : values) v = rng.NextDouble();
+  const auto ranks = RankDescending(values);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (values[i] > values[j]) {
+        EXPECT_LT(ranks[i], ranks[j]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RankPropertyTest, ::testing::Range(0, 10));
+
+class WilcoxonPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WilcoxonPropertyTest, SymmetricUnderSwap) {
+  // Swapping the two samples must give the same statistic and p-value.
+  Rng rng(200 + GetParam());
+  const size_t n = 20 + rng.NextIndex(50);
+  std::vector<double> a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.Gaussian();
+    b[i] = rng.Gaussian();
+  }
+  auto ab = WilcoxonSignedRank(a, b);
+  auto ba = WilcoxonSignedRank(b, a);
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(ba.ok());
+  EXPECT_NEAR(ab->statistic, ba->statistic, 1e-9);
+  EXPECT_NEAR(ab->p_value, ba->p_value, 1e-9);
+}
+
+TEST_P(WilcoxonPropertyTest, PValueInUnitInterval) {
+  Rng rng(300 + GetParam());
+  const size_t n = 10 + rng.NextIndex(100);
+  std::vector<double> a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.Gaussian();
+    b[i] = a[i] + rng.Gaussian(0.0, 0.5);
+  }
+  auto result = WilcoxonSignedRank(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->p_value, 0.0);
+  EXPECT_LE(result->p_value, 1.0);
+  EXPECT_LE(result->effective_n, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WilcoxonPropertyTest,
+                         ::testing::Range(0, 10));
+
+class FriedmanPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FriedmanPropertyTest, AverageRanksSumConserved) {
+  Rng rng(400 + GetParam());
+  const size_t datasets = 5 + rng.NextIndex(30);
+  const size_t methods = 2 + rng.NextIndex(6);
+  DoubleMatrix scores(datasets, methods);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    scores.data()[i] = rng.NextDouble();
+  }
+  auto result = FriedmanTest(scores);
+  ASSERT_TRUE(result.ok());
+  const double sum = std::accumulate(result->average_ranks.begin(),
+                                     result->average_ranks.end(), 0.0);
+  EXPECT_NEAR(sum, static_cast<double>(methods) * (methods + 1) / 2.0,
+              1e-9);
+  EXPECT_GE(result->chi_squared, -1e-9);
+  EXPECT_GE(result->p_value, 0.0);
+  EXPECT_LE(result->p_value, 1.0);
+}
+
+TEST_P(FriedmanPropertyTest, PermutingMethodsPermutesRanks) {
+  Rng rng(500 + GetParam());
+  const size_t datasets = 10;
+  const size_t methods = 4;
+  DoubleMatrix scores(datasets, methods);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    scores.data()[i] = rng.NextDouble();
+  }
+  auto base = FriedmanTest(scores);
+  ASSERT_TRUE(base.ok());
+  // Swap method columns 0 and 2.
+  DoubleMatrix swapped = scores;
+  for (size_t d = 0; d < datasets; ++d) {
+    std::swap(swapped(d, 0), swapped(d, 2));
+  }
+  auto perm = FriedmanTest(swapped);
+  ASSERT_TRUE(perm.ok());
+  EXPECT_NEAR(perm->chi_squared, base->chi_squared, 1e-9);
+  EXPECT_NEAR(perm->average_ranks[0], base->average_ranks[2], 1e-9);
+  EXPECT_NEAR(perm->average_ranks[2], base->average_ranks[0], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FriedmanPropertyTest,
+                         ::testing::Range(0, 10));
+
+TEST(NemenyiPropertyTest, MonotoneInMethodsAndDatasets) {
+  double prev = 0.0;
+  for (size_t k = 2; k <= 20; ++k) {
+    auto cd = NemenyiCriticalDifference(k, 50);
+    ASSERT_TRUE(cd.ok());
+    EXPECT_GT(*cd, prev);
+    prev = *cd;
+  }
+  prev = 1e9;
+  for (size_t n : {10, 30, 100, 300, 1000}) {
+    auto cd = NemenyiCriticalDifference(5, n);
+    ASSERT_TRUE(cd.ok());
+    EXPECT_LT(*cd, prev);
+    prev = *cd;
+  }
+}
+
+TEST(ChiSquaredPropertyTest, SurvivalFunctionMonotoneDecreasing) {
+  for (double dof : {1.0, 2.0, 5.0, 10.0}) {
+    double prev = 1.0 + 1e-12;
+    for (double x = 0.0; x <= 30.0; x += 0.5) {
+      const double sf = ChiSquaredSf(x, dof);
+      EXPECT_LE(sf, prev + 1e-12) << "dof=" << dof << " x=" << x;
+      EXPECT_GE(sf, 0.0);
+      prev = sf;
+    }
+  }
+}
+
+TEST(NormalSfPropertyTest, SymmetryAndBounds) {
+  for (double z = -4.0; z <= 4.0; z += 0.25) {
+    const double sf = NormalSf(z);
+    EXPECT_GE(sf, 0.0);
+    EXPECT_LE(sf, 1.0);
+    EXPECT_NEAR(sf + NormalSf(-z), 1.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace vaq

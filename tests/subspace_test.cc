@@ -1,0 +1,169 @@
+#include "core/subspace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/balance.h"
+
+namespace vaq {
+namespace {
+
+TEST(SubspaceTest, UniformEvenSplit) {
+  auto layout = SubspaceLayout::Uniform(8, 4);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->num_subspaces(), 4u);
+  EXPECT_EQ(layout->dim(), 8u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(layout->span(i).length, 2u);
+    EXPECT_EQ(layout->span(i).offset, 2 * i);
+  }
+}
+
+TEST(SubspaceTest, UniformUnevenSplitFrontLoadsExtras) {
+  auto layout = SubspaceLayout::Uniform(10, 3);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->span(0).length, 4u);
+  EXPECT_EQ(layout->span(1).length, 3u);
+  EXPECT_EQ(layout->span(2).length, 3u);
+  EXPECT_EQ(layout->dim(), 10u);
+}
+
+TEST(SubspaceTest, UniformRejectsBadArgs) {
+  EXPECT_FALSE(SubspaceLayout::Uniform(4, 0).ok());
+  EXPECT_FALSE(SubspaceLayout::Uniform(4, 5).ok());
+}
+
+TEST(SubspaceTest, ClusteredGroupsSimilarVariances) {
+  // Variances with an obvious 2-group structure.
+  const std::vector<double> vars = {100, 98, 96, 1, 0.9, 0.8, 0.7, 0.6};
+  auto layout = SubspaceLayout::Clustered(vars, 2);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->span(0).length, 3u);
+  EXPECT_EQ(layout->span(1).length, 5u);
+}
+
+TEST(SubspaceTest, ClusteredRejectsUnsortedInput) {
+  EXPECT_FALSE(SubspaceLayout::Clustered({1, 5, 3}, 2).ok());
+}
+
+TEST(SubspaceTest, SubspaceVariancesSumCorrectly) {
+  auto layout = SubspaceLayout::Uniform(6, 3);
+  ASSERT_TRUE(layout.ok());
+  const std::vector<double> vars = {6, 5, 4, 3, 2, 1};
+  const auto sums = layout->SubspaceVariances(vars);
+  EXPECT_DOUBLE_EQ(sums[0], 11);
+  EXPECT_DOUBLE_EQ(sums[1], 7);
+  EXPECT_DOUBLE_EQ(sums[2], 3);
+}
+
+TEST(SubspaceTest, IsImportanceSorted) {
+  EXPECT_TRUE(SubspaceLayout::IsImportanceSorted({5, 3, 1}));
+  EXPECT_TRUE(SubspaceLayout::IsImportanceSorted({5, 5, 5}));
+  EXPECT_FALSE(SubspaceLayout::IsImportanceSorted({5, 6, 1}));
+}
+
+TEST(SubspaceTest, RepairOrderingFixesViolation) {
+  // Block sums 9 vs 10 violate ordering; repair moves dimensions left.
+  const std::vector<double> vars = {5, 4, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+  auto layout = SubspaceLayout::Clustered(vars, 2);
+  ASSERT_TRUE(layout.ok());
+  const auto before = layout->SubspaceVariances(vars);
+  if (!SubspaceLayout::IsImportanceSorted(before)) {
+    ASSERT_TRUE(layout->RepairOrdering(vars).ok());
+  }
+  const auto after = layout->SubspaceVariances(vars);
+  EXPECT_TRUE(SubspaceLayout::IsImportanceSorted(after));
+  EXPECT_EQ(layout->span(0).length + layout->span(1).length, vars.size());
+}
+
+TEST(SubspaceTest, RepairOrderingNoOpWhenSorted) {
+  auto layout = SubspaceLayout::Uniform(6, 2);
+  ASSERT_TRUE(layout.ok());
+  const std::vector<double> vars = {6, 5, 4, 3, 2, 1};
+  ASSERT_TRUE(layout->RepairOrdering(vars).ok());
+  EXPECT_EQ(layout->span(0).length, 3u);
+  EXPECT_EQ(layout->span(1).length, 3u);
+}
+
+TEST(BalanceTest, IdentityBalanceIsIdentity) {
+  const std::vector<double> vars = {4, 3, 2, 1};
+  const BalanceResult r = IdentityBalance(vars);
+  EXPECT_EQ(r.permutation, std::vector<size_t>({0, 1, 2, 3}));
+  EXPECT_EQ(r.permuted_variances, vars);
+  EXPECT_EQ(r.num_swaps, 0u);
+}
+
+TEST(BalanceTest, PermutationIsValidBijection) {
+  std::vector<double> vars(16);
+  for (size_t i = 0; i < 16; ++i) vars[i] = 16.0 - static_cast<double>(i);
+  auto layout = SubspaceLayout::Uniform(16, 4);
+  ASSERT_TRUE(layout.ok());
+  const BalanceResult r = PartialBalance(vars, *layout);
+  std::vector<bool> seen(16, false);
+  for (size_t p : r.permutation) {
+    ASSERT_LT(p, 16u);
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+  // Permuted variances must match the permutation applied to the input.
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(r.permuted_variances[i], vars[r.permutation[i]]);
+  }
+}
+
+TEST(BalanceTest, PreservesSubspaceImportanceOrdering) {
+  // A strongly skewed spectrum (the regime balancing targets).
+  std::vector<double> vars(32);
+  for (size_t i = 0; i < 32; ++i) vars[i] = std::pow(0.7, double(i));
+  auto layout = SubspaceLayout::Uniform(32, 8);
+  ASSERT_TRUE(layout.ok());
+  const BalanceResult r = PartialBalance(vars, *layout);
+  const auto sums = layout->SubspaceVariances(r.permuted_variances);
+  EXPECT_TRUE(SubspaceLayout::IsImportanceSorted(sums));
+}
+
+TEST(BalanceTest, SpreadsTopComponents) {
+  // With skew, balancing must reduce the variance gap between the first
+  // and second subspaces relative to no balancing.
+  std::vector<double> vars(16);
+  for (size_t i = 0; i < 16; ++i) vars[i] = std::pow(0.5, double(i));
+  auto layout = SubspaceLayout::Uniform(16, 4);
+  ASSERT_TRUE(layout.ok());
+
+  const auto before = layout->SubspaceVariances(vars);
+  const BalanceResult r = PartialBalance(vars, *layout);
+  const auto after = layout->SubspaceVariances(r.permuted_variances);
+  EXPECT_GT(r.num_swaps, 0u);
+  EXPECT_LT(after[0] - after[1], before[0] - before[1]);
+}
+
+TEST(BalanceTest, KeepsFirstPcInPlace) {
+  std::vector<double> vars(12);
+  for (size_t i = 0; i < 12; ++i) vars[i] = 12.0 - static_cast<double>(i);
+  auto layout = SubspaceLayout::Uniform(12, 3);
+  ASSERT_TRUE(layout.ok());
+  const BalanceResult r = PartialBalance(vars, *layout);
+  EXPECT_EQ(r.permutation[0], 0u);
+}
+
+TEST(BalanceTest, SingleSubspaceNoSwaps) {
+  const std::vector<double> vars = {3, 2, 1};
+  auto layout = SubspaceLayout::Uniform(3, 1);
+  ASSERT_TRUE(layout.ok());
+  const BalanceResult r = PartialBalance(vars, *layout);
+  EXPECT_EQ(r.num_swaps, 0u);
+}
+
+TEST(BalanceTest, WorksWithClusteredLayout) {
+  std::vector<double> vars = {50, 20, 10, 5, 2, 1, 0.5, 0.2, 0.1, 0.05};
+  auto layout = SubspaceLayout::Clustered(vars, 3);
+  ASSERT_TRUE(layout.ok());
+  ASSERT_TRUE(layout->RepairOrdering(vars).ok());
+  const BalanceResult r = PartialBalance(vars, *layout);
+  const auto sums = layout->SubspaceVariances(r.permuted_variances);
+  EXPECT_TRUE(SubspaceLayout::IsImportanceSorted(sums));
+}
+
+}  // namespace
+}  // namespace vaq

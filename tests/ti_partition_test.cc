@@ -1,0 +1,161 @@
+#include "core/ti_partition.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace vaq {
+namespace {
+
+class TiPartitionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(5);
+    data_.Resize(800, 8);
+    for (size_t i = 0; i < data_.size(); ++i) {
+      data_.data()[i] = static_cast<float>(rng.Gaussian());
+    }
+    auto layout = SubspaceLayout::Uniform(8, 4);
+    ASSERT_TRUE(layout.ok());
+    CodebookOptions copts;
+    copts.seed = 3;
+    ASSERT_TRUE(books_.Train(data_, *layout, {4, 4, 3, 3}, copts).ok());
+    auto codes = books_.Encode(data_);
+    ASSERT_TRUE(codes.ok());
+    codes_ = *codes;
+
+    TiPartitionOptions topts;
+    topts.num_clusters = 16;
+    topts.prefix_subspaces = 2;
+    topts.seed = 9;
+    ASSERT_TRUE(ti_.Build(codes_, books_, topts).ok());
+  }
+
+  FloatMatrix data_;
+  VariableCodebooks books_;
+  CodeMatrix codes_;
+  TiPartition ti_;
+};
+
+TEST_F(TiPartitionTest, EveryIdAppearsExactlyOnce) {
+  std::set<uint32_t> seen;
+  size_t total = 0;
+  for (size_t c = 0; c < ti_.num_clusters(); ++c) {
+    for (uint32_t id : ti_.cluster(c).ids) {
+      EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, codes_.rows());
+}
+
+TEST_F(TiPartitionTest, ClusterDistancesSortedAscending) {
+  for (size_t c = 0; c < ti_.num_clusters(); ++c) {
+    const auto& dists = ti_.cluster(c).distances;
+    for (size_t i = 1; i < dists.size(); ++i) {
+      EXPECT_LE(dists[i - 1], dists[i]);
+    }
+    EXPECT_EQ(dists.size(), ti_.cluster(c).ids.size());
+  }
+}
+
+TEST_F(TiPartitionTest, MembersAssignedToNearestCentroid) {
+  // Spot-check: a member's cached distance equals its decoded-prefix
+  // distance to its own centroid, and no other centroid is closer.
+  std::vector<float> decoded(books_.dim());
+  const size_t pd = ti_.prefix_dims();
+  for (size_t c = 0; c < std::min<size_t>(4, ti_.num_clusters()); ++c) {
+    const auto& cluster = ti_.cluster(c);
+    for (size_t i = 0; i < std::min<size_t>(5, cluster.ids.size()); ++i) {
+      const uint32_t id = cluster.ids[i];
+      books_.DecodeRow(codes_.row(id), decoded.data());
+      const float own = std::sqrt(
+          SquaredL2(decoded.data(), ti_.centroids().row(c), pd));
+      EXPECT_NEAR(cluster.distances[i], own, 1e-3f);
+      for (size_t other = 0; other < ti_.num_clusters(); ++other) {
+        const float dist = std::sqrt(
+            SquaredL2(decoded.data(), ti_.centroids().row(other), pd));
+        EXPECT_GE(dist, own - 1e-3f);
+      }
+    }
+  }
+}
+
+TEST_F(TiPartitionTest, QueryDistancesMatchDirectComputation) {
+  Rng rng(77);
+  std::vector<float> query(books_.dim());
+  for (auto& v : query) v = static_cast<float>(rng.Gaussian());
+  std::vector<float> dists;
+  ti_.QueryDistances(query.data(), &dists);
+  ASSERT_EQ(dists.size(), ti_.num_clusters());
+  for (size_t c = 0; c < ti_.num_clusters(); ++c) {
+    const float direct = std::sqrt(SquaredL2(
+        query.data(), ti_.centroids().row(c), ti_.prefix_dims()));
+    EXPECT_NEAR(dists[c], direct, 1e-4f);
+  }
+}
+
+TEST_F(TiPartitionTest, TriangleInequalityBoundHolds) {
+  // For every member x and any query q:
+  // |d(q, c) - d(x, c)| <= d_prefix(q, decoded(x)) <= full ADC distance.
+  Rng rng(13);
+  std::vector<float> query(books_.dim());
+  for (auto& v : query) v = static_cast<float>(rng.Gaussian());
+  std::vector<float> qdists;
+  ti_.QueryDistances(query.data(), &qdists);
+  std::vector<float> decoded(books_.dim());
+  for (size_t c = 0; c < ti_.num_clusters(); ++c) {
+    const auto& cluster = ti_.cluster(c);
+    for (size_t i = 0; i < cluster.ids.size(); ++i) {
+      books_.DecodeRow(codes_.row(cluster.ids[i]), decoded.data());
+      const float prefix_dist = std::sqrt(SquaredL2(
+          query.data(), decoded.data(), ti_.prefix_dims()));
+      const float bound = std::fabs(qdists[c] - cluster.distances[i]);
+      EXPECT_LE(bound, prefix_dist + 1e-2f);
+      const float full_dist =
+          std::sqrt(SquaredL2(query.data(), decoded.data(), books_.dim()));
+      EXPECT_LE(prefix_dist, full_dist + 1e-3f);
+    }
+  }
+}
+
+TEST_F(TiPartitionTest, SaveLoadRoundtrip) {
+  std::stringstream ss;
+  ti_.Save(ss);
+  TiPartition loaded;
+  ASSERT_TRUE(loaded.Load(ss).ok());
+  EXPECT_EQ(loaded.num_clusters(), ti_.num_clusters());
+  EXPECT_EQ(loaded.prefix_subspaces(), ti_.prefix_subspaces());
+  EXPECT_TRUE(loaded.centroids() == ti_.centroids());
+  for (size_t c = 0; c < ti_.num_clusters(); ++c) {
+    EXPECT_EQ(loaded.cluster(c).ids, ti_.cluster(c).ids);
+  }
+}
+
+TEST_F(TiPartitionTest, ClusterCountCappedByRows) {
+  CodeMatrix tiny = codes_.GatherRows({0, 1, 2});
+  TiPartition small;
+  TiPartitionOptions topts;
+  topts.num_clusters = 100;
+  topts.prefix_subspaces = 2;
+  ASSERT_TRUE(small.Build(tiny, books_, topts).ok());
+  EXPECT_EQ(small.num_clusters(), 3u);
+}
+
+TEST_F(TiPartitionTest, RejectsBadInputs) {
+  TiPartition bad;
+  TiPartitionOptions topts;
+  topts.num_clusters = 0;
+  EXPECT_FALSE(bad.Build(codes_, books_, topts).ok());
+  topts.num_clusters = 4;
+  EXPECT_FALSE(bad.Build(CodeMatrix(), books_, topts).ok());
+  VariableCodebooks untrained;
+  EXPECT_FALSE(bad.Build(codes_, untrained, topts).ok());
+}
+
+}  // namespace
+}  // namespace vaq

@@ -1,0 +1,94 @@
+// Full-archive sweep: every one of the 128 generated medium-scale
+// datasets must satisfy the invariants the Table II / Figure 10 benches
+// rely on (valid shapes, z-normalization, class structure, determinism).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "datasets/ucr_like.h"
+
+namespace vaq {
+namespace {
+
+TEST(UcrFullArchiveTest, AllDatasetsWellFormed) {
+  UcrArchiveGenerator gen(2022);
+  std::set<size_t> lengths;
+  std::set<size_t> train_sizes;
+  for (size_t i = 0; i < UcrArchiveGenerator::kDefaultCount; ++i) {
+    const UcrLikeDataset d = gen.Generate(i);
+    ASSERT_GT(d.train.rows(), 100u) << d.name;
+    ASSERT_GT(d.test.rows(), 20u) << d.name;
+    ASSERT_EQ(d.train.cols(), d.test.cols()) << d.name;
+    ASSERT_GE(d.train.cols(), 64u) << d.name;
+    ASSERT_LE(d.train.cols(), 640u) << d.name;
+    lengths.insert(d.train.cols());
+    train_sizes.insert(d.train.rows());
+
+    // Spot-check z-normalization and finiteness on a few rows.
+    for (size_t r = 0; r < 3; ++r) {
+      double mean = 0.0, var = 0.0;
+      for (size_t c = 0; c < d.train.cols(); ++c) {
+        const float v = d.train(r, c);
+        ASSERT_TRUE(std::isfinite(v)) << d.name;
+        mean += v;
+      }
+      mean /= static_cast<double>(d.train.cols());
+      for (size_t c = 0; c < d.train.cols(); ++c) {
+        var += (d.train(r, c) - mean) * (d.train(r, c) - mean);
+      }
+      var /= static_cast<double>(d.train.cols());
+      EXPECT_NEAR(mean, 0.0, 1e-3) << d.name;
+      // Constant rows normalize to all-zero (variance 0); others to 1.
+      EXPECT_TRUE(std::fabs(var - 1.0) < 1e-2 || var < 1e-6) << d.name;
+    }
+  }
+  // Diversity across the archive.
+  EXPECT_GE(lengths.size(), 8u);
+  EXPECT_GE(train_sizes.size(), 30u);
+}
+
+TEST(UcrFullArchiveTest, ArchiveIsDeterministic) {
+  UcrArchiveGenerator a(2022), b(2022), c(2023);
+  for (size_t i : {0u, 31u, 64u, 127u}) {
+    EXPECT_TRUE(a.Generate(i).train == b.Generate(i).train) << i;
+  }
+  EXPECT_FALSE(a.Generate(0).train == c.Generate(0).train);
+}
+
+TEST(UcrFullArchiveTest, ClassStructureCreatesNeighborSignal) {
+  // Same-class series must be closer on average than cross-class ones in
+  // at least most datasets (otherwise the archive's k-NN task is vacuous).
+  UcrArchiveGenerator gen(2022);
+  size_t datasets_with_signal = 0;
+  const size_t probe = 16;
+  for (size_t i = 0; i < probe; ++i) {
+    const UcrLikeDataset d = gen.Generate(i);
+    const size_t num_classes = 2 + i % 5;  // generator's class rule
+    double same = 0.0, cross = 0.0;
+    size_t same_n = 0, cross_n = 0;
+    const size_t limit = std::min<size_t>(60, d.train.rows());
+    for (size_t a = 0; a < limit; ++a) {
+      for (size_t b = a + 1; b < limit; ++b) {
+        const float dist =
+            SquaredL2(d.train.row(a), d.train.row(b), d.train.cols());
+        if (a % num_classes == b % num_classes) {
+          same += dist;
+          ++same_n;
+        } else {
+          cross += dist;
+          ++cross_n;
+        }
+      }
+    }
+    if (same_n > 0 && cross_n > 0 &&
+        same / same_n < cross / cross_n) {
+      ++datasets_with_signal;
+    }
+  }
+  EXPECT_GE(datasets_with_signal, probe * 3 / 4);
+}
+
+}  // namespace
+}  // namespace vaq

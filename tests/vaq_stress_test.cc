@@ -1,0 +1,255 @@
+// Stress and boundary tests for the core index: degenerate data shapes,
+// extreme parameters, and adversarial inputs that must degrade gracefully.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/vaq_index.h"
+#include "datasets/synthetic.h"
+
+namespace vaq {
+namespace {
+
+FloatMatrix Gaussian(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  FloatMatrix data(n, d);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data.data()[i] = static_cast<float>(rng.Gaussian());
+  }
+  return data;
+}
+
+TEST(VaqStressTest, KLargerThanCollection) {
+  const FloatMatrix base = Gaussian(50, 8, 1);
+  VaqOptions opts;
+  opts.num_subspaces = 4;
+  opts.total_bits = 16;
+  opts.ti_clusters = 4;
+  opts.kmeans_iters = 5;
+  auto index = VaqIndex::Train(base, opts);
+  ASSERT_TRUE(index.ok());
+  SearchParams params;
+  params.k = 500;  // > n
+  params.mode = SearchMode::kHeap;
+  std::vector<Neighbor> result;
+  ASSERT_TRUE(index->Search(base.row(0), params, &result).ok());
+  EXPECT_EQ(result.size(), 50u);
+}
+
+TEST(VaqStressTest, SubspacesEqualDimensions) {
+  // One dimension per subspace: the extreme decomposition.
+  const FloatMatrix base = Gaussian(300, 8, 3);
+  VaqOptions opts;
+  opts.num_subspaces = 8;
+  opts.total_bits = 24;
+  opts.ti_clusters = 8;
+  opts.kmeans_iters = 5;
+  auto index = VaqIndex::Train(base, opts);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  SearchParams params;
+  params.k = 5;
+  std::vector<Neighbor> result;
+  ASSERT_TRUE(index->Search(base.row(0), params, &result).ok());
+  EXPECT_EQ(result.size(), 5u);
+}
+
+TEST(VaqStressTest, SingleSubspace) {
+  // m = 1 degenerates to plain VQ over the PCA projection.
+  const FloatMatrix base = Gaussian(300, 8, 5);
+  VaqOptions opts;
+  opts.num_subspaces = 1;
+  opts.total_bits = 6;
+  opts.ti_clusters = 8;
+  opts.kmeans_iters = 5;
+  auto index = VaqIndex::Train(base, opts);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  EXPECT_EQ(index->bits_per_subspace().size(), 1u);
+  EXPECT_EQ(index->bits_per_subspace()[0], 6);
+}
+
+TEST(VaqStressTest, ConstantDataDoesNotCrash) {
+  // Zero variance everywhere: PCA eigenvalues all ~0, allocator falls
+  // back to uniform importance; searching must still work.
+  FloatMatrix base(200, 8, 1.f);
+  VaqOptions opts;
+  opts.num_subspaces = 4;
+  opts.total_bits = 8;
+  opts.ti_clusters = 4;
+  opts.kmeans_iters = 3;
+  auto index = VaqIndex::Train(base, opts);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  SearchParams params;
+  params.k = 3;
+  std::vector<Neighbor> result;
+  ASSERT_TRUE(index->Search(base.row(0), params, &result).ok());
+  EXPECT_EQ(result.size(), 3u);
+  EXPECT_NEAR(result[0].distance, 0.f, 1e-3f);
+}
+
+TEST(VaqStressTest, DuplicateHeavyData) {
+  FloatMatrix base = Gaussian(40, 8, 7);
+  // Tile the 40 distinct rows 10 times.
+  FloatMatrix tiled(400, 8);
+  for (size_t r = 0; r < 400; ++r) {
+    std::copy_n(base.row(r % 40), 8, tiled.row(r));
+  }
+  VaqOptions opts;
+  opts.num_subspaces = 4;
+  opts.total_bits = 20;
+  opts.ti_clusters = 16;
+  opts.kmeans_iters = 5;
+  auto index = VaqIndex::Train(tiled, opts);
+  ASSERT_TRUE(index.ok());
+  SearchParams params;
+  params.k = 10;
+  params.mode = SearchMode::kTriangleInequality;
+  params.visit_fraction = 1.0;
+  std::vector<Neighbor> result;
+  ASSERT_TRUE(index->Search(tiled.row(5), params, &result).ok());
+  // All 10 copies of row 5 share a code, so all ten results must have the
+  // same (near-zero) distance.
+  for (const auto& nb : result) {
+    EXPECT_NEAR(nb.distance, result[0].distance, 1e-4f);
+  }
+}
+
+TEST(VaqStressTest, TinyVisitFractionStillReturnsK) {
+  const FloatMatrix base = Gaussian(2000, 16, 9);
+  VaqOptions opts;
+  opts.num_subspaces = 4;
+  opts.total_bits = 20;
+  opts.ti_clusters = 100;
+  opts.kmeans_iters = 5;
+  auto index = VaqIndex::Train(base, opts);
+  ASSERT_TRUE(index.ok());
+  SearchParams params;
+  params.k = 10;
+  params.mode = SearchMode::kTriangleInequality;
+  params.visit_fraction = 1e-6;  // clamps to one cluster
+  std::vector<Neighbor> result;
+  ASSERT_TRUE(index->Search(base.row(0), params, &result).ok());
+  EXPECT_GE(result.size(), 1u);  // at least the visited cluster's members
+}
+
+TEST(VaqStressTest, MinBitsEqualsMaxBits) {
+  const FloatMatrix base = Gaussian(300, 8, 11);
+  VaqOptions opts;
+  opts.num_subspaces = 4;
+  opts.total_bits = 20;
+  opts.min_bits = 5;
+  opts.max_bits = 5;  // allocation fully pinned
+  opts.ti_clusters = 8;
+  opts.kmeans_iters = 5;
+  auto index = VaqIndex::Train(base, opts);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  for (int b : index->bits_per_subspace()) EXPECT_EQ(b, 5);
+}
+
+TEST(VaqStressTest, HighDimFewSamples) {
+  // d > n: covariance is rank-deficient; PCA must still produce a valid
+  // orthonormal basis and the index must function.
+  const FloatMatrix base = Gaussian(40, 64, 13);
+  VaqOptions opts;
+  opts.num_subspaces = 8;
+  opts.total_bits = 24;
+  opts.ti_clusters = 4;
+  opts.kmeans_iters = 5;
+  auto index = VaqIndex::Train(base, opts);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  SearchParams params;
+  params.k = 5;
+  std::vector<Neighbor> result;
+  ASSERT_TRUE(index->Search(base.row(0), params, &result).ok());
+  EXPECT_EQ(result.size(), 5u);
+}
+
+TEST(VaqStressTest, QueriesFarOutsideTrainingDistribution) {
+  const FloatMatrix base = Gaussian(500, 8, 17);
+  VaqOptions opts;
+  opts.num_subspaces = 4;
+  opts.total_bits = 16;
+  opts.ti_clusters = 16;
+  opts.kmeans_iters = 5;
+  auto index = VaqIndex::Train(base, opts);
+  ASSERT_TRUE(index.ok());
+  std::vector<float> far_query(8, 1e4f);
+  SearchParams params;
+  params.k = 5;
+  for (SearchMode mode : {SearchMode::kHeap, SearchMode::kEarlyAbandon,
+                          SearchMode::kTriangleInequality}) {
+    params.mode = mode;
+    std::vector<Neighbor> result;
+    ASSERT_TRUE(index->Search(far_query.data(), params, &result).ok());
+    EXPECT_EQ(result.size(), 5u);
+    for (const auto& nb : result) {
+      EXPECT_TRUE(std::isfinite(nb.distance));
+      EXPECT_GT(nb.distance, 1e3f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vaq
+
+namespace vaq {
+namespace {
+
+TEST(VaqBatchThreadingTest, ThreadedBatchMatchesSerial) {
+  Rng rng(99);
+  FloatMatrix base(1500, 16);
+  for (size_t i = 0; i < base.size(); ++i) {
+    base.data()[i] = static_cast<float>(rng.Gaussian());
+  }
+  FloatMatrix queries(23, 16);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    queries.data()[i] = static_cast<float>(rng.Gaussian());
+  }
+  VaqOptions opts;
+  opts.num_subspaces = 4;
+  opts.total_bits = 20;
+  opts.ti_clusters = 32;
+  opts.kmeans_iters = 5;
+  auto index = VaqIndex::Train(base, opts);
+  ASSERT_TRUE(index.ok());
+  SearchParams params;
+  params.k = 10;
+  auto serial = index->SearchBatch(queries, params, 1);
+  auto threaded = index->SearchBatch(queries, params, 4);
+  auto automatic = index->SearchBatch(queries, params, 0);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(threaded.ok());
+  ASSERT_TRUE(automatic.ok());
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    ASSERT_EQ((*serial)[q].size(), (*threaded)[q].size());
+    for (size_t i = 0; i < (*serial)[q].size(); ++i) {
+      EXPECT_EQ((*serial)[q][i].id, (*threaded)[q][i].id);
+      EXPECT_EQ((*serial)[q][i].id, (*automatic)[q][i].id);
+    }
+  }
+}
+
+TEST(VaqBatchThreadingTest, ErrorsPropagateFromWorkers) {
+  Rng rng(101);
+  FloatMatrix base(300, 8);
+  for (size_t i = 0; i < base.size(); ++i) {
+    base.data()[i] = static_cast<float>(rng.Gaussian());
+  }
+  VaqOptions opts;
+  opts.num_subspaces = 4;
+  opts.total_bits = 16;
+  opts.ti_clusters = 8;
+  opts.kmeans_iters = 5;
+  auto index = VaqIndex::Train(base, opts);
+  ASSERT_TRUE(index.ok());
+  SearchParams params;
+  params.k = 5;
+  params.visit_fraction = 2.0;  // invalid: every worker fails
+  auto result = index->SearchBatch(base, params, 4);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace vaq
