@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_knobs"
+  "../bench/ablation_knobs.pdb"
+  "CMakeFiles/ablation_knobs.dir/ablation_knobs.cc.o"
+  "CMakeFiles/ablation_knobs.dir/ablation_knobs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_ranking"
+  "../bench/fig10_ranking.pdb"
+  "CMakeFiles/fig10_ranking.dir/fig10_ranking.cc.o"
+  "CMakeFiles/fig10_ranking.dir/fig10_ranking.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_indexing"
+  "../bench/fig11_indexing.pdb"
+  "CMakeFiles/fig11_indexing.dir/fig11_indexing.cc.o"
+  "CMakeFiles/fig11_indexing.dir/fig11_indexing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

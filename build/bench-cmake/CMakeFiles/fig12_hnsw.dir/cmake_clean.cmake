@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_hnsw"
+  "../bench/fig12_hnsw.pdb"
+  "CMakeFiles/fig12_hnsw.dir/fig12_hnsw.cc.o"
+  "CMakeFiles/fig12_hnsw.dir/fig12_hnsw.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_hnsw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_quant_tradeoff"
+  "../bench/fig1_quant_tradeoff.pdb"
+  "CMakeFiles/fig1_quant_tradeoff.dir/fig1_quant_tradeoff.cc.o"
+  "CMakeFiles/fig1_quant_tradeoff.dir/fig1_quant_tradeoff.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_quant_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_variance_profiles"
+  "../bench/fig3_variance_profiles.pdb"
+  "CMakeFiles/fig3_variance_profiles.dir/fig3_variance_profiles.cc.o"
+  "CMakeFiles/fig3_variance_profiles.dir/fig3_variance_profiles.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_variance_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_subspace_importance"
+  "../bench/fig4_subspace_importance.pdb"
+  "CMakeFiles/fig4_subspace_importance.dir/fig4_subspace_importance.cc.o"
+  "CMakeFiles/fig4_subspace_importance.dir/fig4_subspace_importance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_subspace_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

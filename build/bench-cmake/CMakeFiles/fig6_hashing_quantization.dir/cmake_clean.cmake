@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_hashing_quantization"
+  "../bench/fig6_hashing_quantization.pdb"
+  "CMakeFiles/fig6_hashing_quantization.dir/fig6_hashing_quantization.cc.o"
+  "CMakeFiles/fig6_hashing_quantization.dir/fig6_hashing_quantization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_hashing_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_pruning"
+  "../bench/fig7_pruning.pdb"
+  "CMakeFiles/fig7_pruning.dir/fig7_pruning.cc.o"
+  "CMakeFiles/fig7_pruning.dir/fig7_pruning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_hw_accel"
+  "../bench/fig8_hw_accel.pdb"
+  "CMakeFiles/fig8_hw_accel.dir/fig8_hw_accel.cc.o"
+  "CMakeFiles/fig8_hw_accel.dir/fig8_hw_accel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_hw_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig9_ablation.cc" "bench-cmake/CMakeFiles/fig9_ablation.dir/fig9_ablation.cc.o" "gcc" "bench-cmake/CMakeFiles/fig9_ablation.dir/fig9_ablation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-cmake/CMakeFiles/vaq_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/vaq_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/vaq_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vaq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/vaq_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/vaq_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/vaq_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/vaq_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/vaq_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

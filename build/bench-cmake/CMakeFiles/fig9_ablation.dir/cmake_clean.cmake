@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_ablation"
+  "../bench/fig9_ablation.pdb"
+  "CMakeFiles/fig9_ablation.dir/fig9_ablation.cc.o"
+  "CMakeFiles/fig9_ablation.dir/fig9_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_scalability"
+  "../bench/fig_scalability.pdb"
+  "CMakeFiles/fig_scalability.dir/fig_scalability.cc.o"
+  "CMakeFiles/fig_scalability.dir/fig_scalability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_ucr"
+  "../bench/table2_ucr.pdb"
+  "CMakeFiles/table2_ucr.dir/table2_ucr.cc.o"
+  "CMakeFiles/table2_ucr.dir/table2_ucr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_ucr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

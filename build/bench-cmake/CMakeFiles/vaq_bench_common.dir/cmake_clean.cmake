@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/vaq_bench_common.dir/bench_common.cc.o.d"
+  "CMakeFiles/vaq_bench_common.dir/ucr_sweep.cc.o"
+  "CMakeFiles/vaq_bench_common.dir/ucr_sweep.cc.o.d"
+  "libvaq_bench_common.a"
+  "libvaq_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

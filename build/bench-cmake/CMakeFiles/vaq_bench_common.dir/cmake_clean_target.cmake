@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvaq_bench_common.a"
+)

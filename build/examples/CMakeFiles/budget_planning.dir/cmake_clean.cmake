@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/budget_planning.dir/budget_planning.cpp.o"
+  "CMakeFiles/budget_planning.dir/budget_planning.cpp.o.d"
+  "budget_planning"
+  "budget_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/budget_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_data.dir/external_data.cpp.o"
+  "CMakeFiles/external_data.dir/external_data.cpp.o.d"
+  "external_data"
+  "external_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_descriptor_search.dir/image_descriptor_search.cpp.o"
+  "CMakeFiles/image_descriptor_search.dir/image_descriptor_search.cpp.o.d"
+  "image_descriptor_search"
+  "image_descriptor_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_descriptor_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

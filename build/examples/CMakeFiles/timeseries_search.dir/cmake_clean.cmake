@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeseries_search.dir/timeseries_search.cpp.o"
+  "CMakeFiles/timeseries_search.dir/timeseries_search.cpp.o.d"
+  "timeseries_search"
+  "timeseries_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeseries_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clustering/hierarchical.cc" "src/clustering/CMakeFiles/vaq_clustering.dir/hierarchical.cc.o" "gcc" "src/clustering/CMakeFiles/vaq_clustering.dir/hierarchical.cc.o.d"
+  "/root/repo/src/clustering/kmeans.cc" "src/clustering/CMakeFiles/vaq_clustering.dir/kmeans.cc.o" "gcc" "src/clustering/CMakeFiles/vaq_clustering.dir/kmeans.cc.o.d"
+  "/root/repo/src/clustering/kmeans1d.cc" "src/clustering/CMakeFiles/vaq_clustering.dir/kmeans1d.cc.o" "gcc" "src/clustering/CMakeFiles/vaq_clustering.dir/kmeans1d.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

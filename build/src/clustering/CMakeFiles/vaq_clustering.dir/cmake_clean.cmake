@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_clustering.dir/hierarchical.cc.o"
+  "CMakeFiles/vaq_clustering.dir/hierarchical.cc.o.d"
+  "CMakeFiles/vaq_clustering.dir/kmeans.cc.o"
+  "CMakeFiles/vaq_clustering.dir/kmeans.cc.o.d"
+  "CMakeFiles/vaq_clustering.dir/kmeans1d.cc.o"
+  "CMakeFiles/vaq_clustering.dir/kmeans1d.cc.o.d"
+  "libvaq_clustering.a"
+  "libvaq_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

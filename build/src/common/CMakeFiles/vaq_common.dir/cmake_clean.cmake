@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_common.dir/io.cc.o"
+  "CMakeFiles/vaq_common.dir/io.cc.o.d"
+  "CMakeFiles/vaq_common.dir/status.cc.o"
+  "CMakeFiles/vaq_common.dir/status.cc.o.d"
+  "libvaq_common.a"
+  "libvaq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

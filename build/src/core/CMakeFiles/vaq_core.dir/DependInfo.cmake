@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocation.cc" "src/core/CMakeFiles/vaq_core.dir/allocation.cc.o" "gcc" "src/core/CMakeFiles/vaq_core.dir/allocation.cc.o.d"
+  "/root/repo/src/core/balance.cc" "src/core/CMakeFiles/vaq_core.dir/balance.cc.o" "gcc" "src/core/CMakeFiles/vaq_core.dir/balance.cc.o.d"
+  "/root/repo/src/core/codebook.cc" "src/core/CMakeFiles/vaq_core.dir/codebook.cc.o" "gcc" "src/core/CMakeFiles/vaq_core.dir/codebook.cc.o.d"
+  "/root/repo/src/core/packed_codes.cc" "src/core/CMakeFiles/vaq_core.dir/packed_codes.cc.o" "gcc" "src/core/CMakeFiles/vaq_core.dir/packed_codes.cc.o.d"
+  "/root/repo/src/core/subspace.cc" "src/core/CMakeFiles/vaq_core.dir/subspace.cc.o" "gcc" "src/core/CMakeFiles/vaq_core.dir/subspace.cc.o.d"
+  "/root/repo/src/core/ti_partition.cc" "src/core/CMakeFiles/vaq_core.dir/ti_partition.cc.o" "gcc" "src/core/CMakeFiles/vaq_core.dir/ti_partition.cc.o.d"
+  "/root/repo/src/core/vaq_index.cc" "src/core/CMakeFiles/vaq_core.dir/vaq_index.cc.o" "gcc" "src/core/CMakeFiles/vaq_core.dir/vaq_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/vaq_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/vaq_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/vaq_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

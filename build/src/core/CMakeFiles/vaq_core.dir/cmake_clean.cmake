@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_core.dir/allocation.cc.o"
+  "CMakeFiles/vaq_core.dir/allocation.cc.o.d"
+  "CMakeFiles/vaq_core.dir/balance.cc.o"
+  "CMakeFiles/vaq_core.dir/balance.cc.o.d"
+  "CMakeFiles/vaq_core.dir/codebook.cc.o"
+  "CMakeFiles/vaq_core.dir/codebook.cc.o.d"
+  "CMakeFiles/vaq_core.dir/packed_codes.cc.o"
+  "CMakeFiles/vaq_core.dir/packed_codes.cc.o.d"
+  "CMakeFiles/vaq_core.dir/subspace.cc.o"
+  "CMakeFiles/vaq_core.dir/subspace.cc.o.d"
+  "CMakeFiles/vaq_core.dir/ti_partition.cc.o"
+  "CMakeFiles/vaq_core.dir/ti_partition.cc.o.d"
+  "CMakeFiles/vaq_core.dir/vaq_index.cc.o"
+  "CMakeFiles/vaq_core.dir/vaq_index.cc.o.d"
+  "libvaq_core.a"
+  "libvaq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/synthetic.cc" "src/datasets/CMakeFiles/vaq_datasets.dir/synthetic.cc.o" "gcc" "src/datasets/CMakeFiles/vaq_datasets.dir/synthetic.cc.o.d"
+  "/root/repo/src/datasets/ucr_like.cc" "src/datasets/CMakeFiles/vaq_datasets.dir/ucr_like.cc.o" "gcc" "src/datasets/CMakeFiles/vaq_datasets.dir/ucr_like.cc.o.d"
+  "/root/repo/src/datasets/vector_io.cc" "src/datasets/CMakeFiles/vaq_datasets.dir/vector_io.cc.o" "gcc" "src/datasets/CMakeFiles/vaq_datasets.dir/vector_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/vaq_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_datasets.dir/synthetic.cc.o"
+  "CMakeFiles/vaq_datasets.dir/synthetic.cc.o.d"
+  "CMakeFiles/vaq_datasets.dir/ucr_like.cc.o"
+  "CMakeFiles/vaq_datasets.dir/ucr_like.cc.o.d"
+  "CMakeFiles/vaq_datasets.dir/vector_io.cc.o"
+  "CMakeFiles/vaq_datasets.dir/vector_io.cc.o.d"
+  "libvaq_datasets.a"
+  "libvaq_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/ground_truth.cc" "src/eval/CMakeFiles/vaq_eval.dir/ground_truth.cc.o" "gcc" "src/eval/CMakeFiles/vaq_eval.dir/ground_truth.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/vaq_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/vaq_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/rerank.cc" "src/eval/CMakeFiles/vaq_eval.dir/rerank.cc.o" "gcc" "src/eval/CMakeFiles/vaq_eval.dir/rerank.cc.o.d"
+  "/root/repo/src/eval/stats.cc" "src/eval/CMakeFiles/vaq_eval.dir/stats.cc.o" "gcc" "src/eval/CMakeFiles/vaq_eval.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_eval.dir/ground_truth.cc.o"
+  "CMakeFiles/vaq_eval.dir/ground_truth.cc.o.d"
+  "CMakeFiles/vaq_eval.dir/metrics.cc.o"
+  "CMakeFiles/vaq_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/vaq_eval.dir/rerank.cc.o"
+  "CMakeFiles/vaq_eval.dir/rerank.cc.o.d"
+  "CMakeFiles/vaq_eval.dir/stats.cc.o"
+  "CMakeFiles/vaq_eval.dir/stats.cc.o.d"
+  "libvaq_eval.a"
+  "libvaq_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

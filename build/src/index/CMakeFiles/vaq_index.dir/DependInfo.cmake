@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/dstree.cc" "src/index/CMakeFiles/vaq_index.dir/dstree.cc.o" "gcc" "src/index/CMakeFiles/vaq_index.dir/dstree.cc.o.d"
+  "/root/repo/src/index/hnsw.cc" "src/index/CMakeFiles/vaq_index.dir/hnsw.cc.o" "gcc" "src/index/CMakeFiles/vaq_index.dir/hnsw.cc.o.d"
+  "/root/repo/src/index/imi.cc" "src/index/CMakeFiles/vaq_index.dir/imi.cc.o" "gcc" "src/index/CMakeFiles/vaq_index.dir/imi.cc.o.d"
+  "/root/repo/src/index/isax.cc" "src/index/CMakeFiles/vaq_index.dir/isax.cc.o" "gcc" "src/index/CMakeFiles/vaq_index.dir/isax.cc.o.d"
+  "/root/repo/src/index/vaq_ivf.cc" "src/index/CMakeFiles/vaq_index.dir/vaq_ivf.cc.o" "gcc" "src/index/CMakeFiles/vaq_index.dir/vaq_ivf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/vaq_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vaq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/vaq_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/vaq_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/vaq_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

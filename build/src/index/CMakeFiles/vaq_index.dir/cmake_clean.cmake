@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_index.dir/dstree.cc.o"
+  "CMakeFiles/vaq_index.dir/dstree.cc.o.d"
+  "CMakeFiles/vaq_index.dir/hnsw.cc.o"
+  "CMakeFiles/vaq_index.dir/hnsw.cc.o.d"
+  "CMakeFiles/vaq_index.dir/imi.cc.o"
+  "CMakeFiles/vaq_index.dir/imi.cc.o.d"
+  "CMakeFiles/vaq_index.dir/isax.cc.o"
+  "CMakeFiles/vaq_index.dir/isax.cc.o.d"
+  "CMakeFiles/vaq_index.dir/vaq_ivf.cc.o"
+  "CMakeFiles/vaq_index.dir/vaq_ivf.cc.o.d"
+  "libvaq_index.a"
+  "libvaq_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/covariance.cc" "src/linalg/CMakeFiles/vaq_linalg.dir/covariance.cc.o" "gcc" "src/linalg/CMakeFiles/vaq_linalg.dir/covariance.cc.o.d"
+  "/root/repo/src/linalg/eigen.cc" "src/linalg/CMakeFiles/vaq_linalg.dir/eigen.cc.o" "gcc" "src/linalg/CMakeFiles/vaq_linalg.dir/eigen.cc.o.d"
+  "/root/repo/src/linalg/ops.cc" "src/linalg/CMakeFiles/vaq_linalg.dir/ops.cc.o" "gcc" "src/linalg/CMakeFiles/vaq_linalg.dir/ops.cc.o.d"
+  "/root/repo/src/linalg/pca.cc" "src/linalg/CMakeFiles/vaq_linalg.dir/pca.cc.o" "gcc" "src/linalg/CMakeFiles/vaq_linalg.dir/pca.cc.o.d"
+  "/root/repo/src/linalg/rotation.cc" "src/linalg/CMakeFiles/vaq_linalg.dir/rotation.cc.o" "gcc" "src/linalg/CMakeFiles/vaq_linalg.dir/rotation.cc.o.d"
+  "/root/repo/src/linalg/sketch.cc" "src/linalg/CMakeFiles/vaq_linalg.dir/sketch.cc.o" "gcc" "src/linalg/CMakeFiles/vaq_linalg.dir/sketch.cc.o.d"
+  "/root/repo/src/linalg/svd.cc" "src/linalg/CMakeFiles/vaq_linalg.dir/svd.cc.o" "gcc" "src/linalg/CMakeFiles/vaq_linalg.dir/svd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

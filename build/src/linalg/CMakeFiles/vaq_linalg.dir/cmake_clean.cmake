@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_linalg.dir/covariance.cc.o"
+  "CMakeFiles/vaq_linalg.dir/covariance.cc.o.d"
+  "CMakeFiles/vaq_linalg.dir/eigen.cc.o"
+  "CMakeFiles/vaq_linalg.dir/eigen.cc.o.d"
+  "CMakeFiles/vaq_linalg.dir/ops.cc.o"
+  "CMakeFiles/vaq_linalg.dir/ops.cc.o.d"
+  "CMakeFiles/vaq_linalg.dir/pca.cc.o"
+  "CMakeFiles/vaq_linalg.dir/pca.cc.o.d"
+  "CMakeFiles/vaq_linalg.dir/rotation.cc.o"
+  "CMakeFiles/vaq_linalg.dir/rotation.cc.o.d"
+  "CMakeFiles/vaq_linalg.dir/sketch.cc.o"
+  "CMakeFiles/vaq_linalg.dir/sketch.cc.o.d"
+  "CMakeFiles/vaq_linalg.dir/svd.cc.o"
+  "CMakeFiles/vaq_linalg.dir/svd.cc.o.d"
+  "libvaq_linalg.a"
+  "libvaq_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

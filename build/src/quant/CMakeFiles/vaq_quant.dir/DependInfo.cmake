@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/bolt.cc" "src/quant/CMakeFiles/vaq_quant.dir/bolt.cc.o" "gcc" "src/quant/CMakeFiles/vaq_quant.dir/bolt.cc.o.d"
+  "/root/repo/src/quant/itq.cc" "src/quant/CMakeFiles/vaq_quant.dir/itq.cc.o" "gcc" "src/quant/CMakeFiles/vaq_quant.dir/itq.cc.o.d"
+  "/root/repo/src/quant/opq.cc" "src/quant/CMakeFiles/vaq_quant.dir/opq.cc.o" "gcc" "src/quant/CMakeFiles/vaq_quant.dir/opq.cc.o.d"
+  "/root/repo/src/quant/pq.cc" "src/quant/CMakeFiles/vaq_quant.dir/pq.cc.o" "gcc" "src/quant/CMakeFiles/vaq_quant.dir/pq.cc.o.d"
+  "/root/repo/src/quant/pqfs.cc" "src/quant/CMakeFiles/vaq_quant.dir/pqfs.cc.o" "gcc" "src/quant/CMakeFiles/vaq_quant.dir/pqfs.cc.o.d"
+  "/root/repo/src/quant/quantizer.cc" "src/quant/CMakeFiles/vaq_quant.dir/quantizer.cc.o" "gcc" "src/quant/CMakeFiles/vaq_quant.dir/quantizer.cc.o.d"
+  "/root/repo/src/quant/vq.cc" "src/quant/CMakeFiles/vaq_quant.dir/vq.cc.o" "gcc" "src/quant/CMakeFiles/vaq_quant.dir/vq.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/vaq_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/vaq_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vaq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/vaq_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

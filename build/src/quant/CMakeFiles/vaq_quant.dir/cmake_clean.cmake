@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_quant.dir/bolt.cc.o"
+  "CMakeFiles/vaq_quant.dir/bolt.cc.o.d"
+  "CMakeFiles/vaq_quant.dir/itq.cc.o"
+  "CMakeFiles/vaq_quant.dir/itq.cc.o.d"
+  "CMakeFiles/vaq_quant.dir/opq.cc.o"
+  "CMakeFiles/vaq_quant.dir/opq.cc.o.d"
+  "CMakeFiles/vaq_quant.dir/pq.cc.o"
+  "CMakeFiles/vaq_quant.dir/pq.cc.o.d"
+  "CMakeFiles/vaq_quant.dir/pqfs.cc.o"
+  "CMakeFiles/vaq_quant.dir/pqfs.cc.o.d"
+  "CMakeFiles/vaq_quant.dir/quantizer.cc.o"
+  "CMakeFiles/vaq_quant.dir/quantizer.cc.o.d"
+  "CMakeFiles/vaq_quant.dir/vq.cc.o"
+  "CMakeFiles/vaq_quant.dir/vq.cc.o.d"
+  "libvaq_quant.a"
+  "libvaq_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vaq_solver.dir/lp.cc.o"
+  "CMakeFiles/vaq_solver.dir/lp.cc.o.d"
+  "CMakeFiles/vaq_solver.dir/milp.cc.o"
+  "CMakeFiles/vaq_solver.dir/milp.cc.o.d"
+  "libvaq_solver.a"
+  "libvaq_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vaq_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

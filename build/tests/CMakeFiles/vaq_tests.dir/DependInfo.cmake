@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/allocation_test.cc" "tests/CMakeFiles/vaq_tests.dir/allocation_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/allocation_test.cc.o.d"
+  "/root/repo/tests/clustering_test.cc" "tests/CMakeFiles/vaq_tests.dir/clustering_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/clustering_test.cc.o.d"
+  "/root/repo/tests/codebook_test.cc" "tests/CMakeFiles/vaq_tests.dir/codebook_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/codebook_test.cc.o.d"
+  "/root/repo/tests/datasets_test.cc" "tests/CMakeFiles/vaq_tests.dir/datasets_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/datasets_test.cc.o.d"
+  "/root/repo/tests/eigen_test.cc" "tests/CMakeFiles/vaq_tests.dir/eigen_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/eigen_test.cc.o.d"
+  "/root/repo/tests/eval_test.cc" "tests/CMakeFiles/vaq_tests.dir/eval_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/eval_test.cc.o.d"
+  "/root/repo/tests/extensions2_test.cc" "tests/CMakeFiles/vaq_tests.dir/extensions2_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/extensions2_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/vaq_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/failure_injection_test.cc" "tests/CMakeFiles/vaq_tests.dir/failure_injection_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/failure_injection_test.cc.o.d"
+  "/root/repo/tests/golden_test.cc" "tests/CMakeFiles/vaq_tests.dir/golden_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/golden_test.cc.o.d"
+  "/root/repo/tests/index_property_test.cc" "tests/CMakeFiles/vaq_tests.dir/index_property_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/index_property_test.cc.o.d"
+  "/root/repo/tests/index_test.cc" "tests/CMakeFiles/vaq_tests.dir/index_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/index_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/vaq_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/io_test.cc" "tests/CMakeFiles/vaq_tests.dir/io_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/io_test.cc.o.d"
+  "/root/repo/tests/linalg_test.cc" "tests/CMakeFiles/vaq_tests.dir/linalg_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/linalg_test.cc.o.d"
+  "/root/repo/tests/matrix_test.cc" "tests/CMakeFiles/vaq_tests.dir/matrix_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/matrix_test.cc.o.d"
+  "/root/repo/tests/packed_codes_test.cc" "tests/CMakeFiles/vaq_tests.dir/packed_codes_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/packed_codes_test.cc.o.d"
+  "/root/repo/tests/quant_property_test.cc" "tests/CMakeFiles/vaq_tests.dir/quant_property_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/quant_property_test.cc.o.d"
+  "/root/repo/tests/quant_test.cc" "tests/CMakeFiles/vaq_tests.dir/quant_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/quant_test.cc.o.d"
+  "/root/repo/tests/rng_test.cc" "tests/CMakeFiles/vaq_tests.dir/rng_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/rng_test.cc.o.d"
+  "/root/repo/tests/solver_test.cc" "tests/CMakeFiles/vaq_tests.dir/solver_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/solver_test.cc.o.d"
+  "/root/repo/tests/stats_property_test.cc" "tests/CMakeFiles/vaq_tests.dir/stats_property_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/stats_property_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/vaq_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/subspace_test.cc" "tests/CMakeFiles/vaq_tests.dir/subspace_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/subspace_test.cc.o.d"
+  "/root/repo/tests/ti_partition_test.cc" "tests/CMakeFiles/vaq_tests.dir/ti_partition_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/ti_partition_test.cc.o.d"
+  "/root/repo/tests/topk_test.cc" "tests/CMakeFiles/vaq_tests.dir/topk_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/topk_test.cc.o.d"
+  "/root/repo/tests/ucr_archive_test.cc" "tests/CMakeFiles/vaq_tests.dir/ucr_archive_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/ucr_archive_test.cc.o.d"
+  "/root/repo/tests/vaq_index_test.cc" "tests/CMakeFiles/vaq_tests.dir/vaq_index_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/vaq_index_test.cc.o.d"
+  "/root/repo/tests/vaq_ivf_test.cc" "tests/CMakeFiles/vaq_tests.dir/vaq_ivf_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/vaq_ivf_test.cc.o.d"
+  "/root/repo/tests/vaq_stress_test.cc" "tests/CMakeFiles/vaq_tests.dir/vaq_stress_test.cc.o" "gcc" "tests/CMakeFiles/vaq_tests.dir/vaq_stress_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vaq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/vaq_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/vaq_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/vaq_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/vaq_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/vaq_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustering/CMakeFiles/vaq_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/vaq_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vaq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
