@@ -4,8 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "clustering/kmeans.h"
 #include "common/rng.h"
+#include "core/scan.h"
 #include "core/vaq_index.h"
 #include "datasets/synthetic.h"
 
@@ -70,17 +74,21 @@ struct ScanFixture {
   }
 };
 
-void ScanBenchmark(benchmark::State& state, SearchMode mode, double visit) {
+void ScanBenchmark(benchmark::State& state, SearchMode mode, double visit,
+                   ScanKernelType kernel = ScanKernelType::kAuto) {
   const ScanFixture& fixture = ScanFixture::Get();
   SearchParams params;
   params.k = 100;
   params.mode = mode;
   params.visit_fraction = visit;
+  params.kernel = kernel;
+  SearchScratch scratch;
   std::vector<Neighbor> out;
   size_t q = 0;
   for (auto _ : state) {
-    VAQ_CHECK(
-        fixture.index.Search(fixture.queries.row(q), params, &out).ok());
+    VAQ_CHECK(fixture.index.Search(fixture.queries.row(q), params, &scratch,
+                                   &out)
+                  .ok());
     benchmark::DoNotOptimize(out.data());
     q = (q + 1) & 63;
   }
@@ -90,8 +98,15 @@ void ScanBenchmark(benchmark::State& state, SearchMode mode, double visit) {
 void BM_VaqScanHeap(benchmark::State& state) {
   ScanBenchmark(state, SearchMode::kHeap, 1.0);
 }
+void BM_VaqScanHeapReference(benchmark::State& state) {
+  ScanBenchmark(state, SearchMode::kHeap, 1.0, ScanKernelType::kReference);
+}
 void BM_VaqScanEarlyAbandon(benchmark::State& state) {
   ScanBenchmark(state, SearchMode::kEarlyAbandon, 1.0);
+}
+void BM_VaqScanEarlyAbandonReference(benchmark::State& state) {
+  ScanBenchmark(state, SearchMode::kEarlyAbandon, 1.0,
+                ScanKernelType::kReference);
 }
 void BM_VaqScanTiEa25(benchmark::State& state) {
   ScanBenchmark(state, SearchMode::kTriangleInequality, 0.25);
@@ -100,9 +115,99 @@ void BM_VaqScanTiEa10(benchmark::State& state) {
   ScanBenchmark(state, SearchMode::kTriangleInequality, 0.10);
 }
 BENCHMARK(BM_VaqScanHeap);
+BENCHMARK(BM_VaqScanHeapReference);
 BENCHMARK(BM_VaqScanEarlyAbandon);
+BENCHMARK(BM_VaqScanEarlyAbandonReference);
 BENCHMARK(BM_VaqScanTiEa25);
 BENCHMARK(BM_VaqScanTiEa10);
+
+// ---------------------------------------------------------------------------
+// Kernel-level ADC scan: the acceptance benchmark for the blocked scan
+// layer. Synthetic codes and LUT (no training) at the paper's default
+// width m=32 over n >= 100k codes, full accumulation into a top-100 heap
+// (SearchMode::kHeap). "Reference" is the pre-blocking row-at-a-time
+// gather; the blocked scalar and AVX2 kernels must beat it.
+// ---------------------------------------------------------------------------
+
+struct AdcScanFixture {
+  static constexpr size_t kRows = 131072;
+  static constexpr size_t kSubspaces = 32;
+  static constexpr size_t kBitsPerSubspace = 8;
+
+  CodeMatrix codes;
+  std::vector<float> lut;
+  std::vector<uint32_t> lut_offsets;
+  BlockedCodes blocked;
+
+  static const AdcScanFixture& Get() {
+    static const AdcScanFixture* fixture = [] {
+      auto* f = new AdcScanFixture();
+      Rng rng(99);
+      const size_t dict = size_t{1} << kBitsPerSubspace;
+      f->lut.resize(kSubspaces * dict);
+      for (float& v : f->lut) v = rng.NextFloat();
+      f->lut_offsets.resize(kSubspaces);
+      for (size_t s = 0; s < kSubspaces; ++s) {
+        f->lut_offsets[s] = static_cast<uint32_t>(s * dict);
+      }
+      f->codes.Resize(kRows, kSubspaces);
+      for (size_t i = 0; i < f->codes.size(); ++i) {
+        f->codes.data()[i] = static_cast<uint16_t>(rng.NextIndex(dict));
+      }
+      f->blocked = BlockedCodes::Build(f->codes);
+      return f;
+    }();
+    return *fixture;
+  }
+};
+
+void BM_AdcFullScanReference(benchmark::State& state) {
+  const AdcScanFixture& f = AdcScanFixture::Get();
+  TopKHeap heap(100);
+  for (auto _ : state) {
+    heap.Reset(100);
+    for (size_t r = 0; r < AdcScanFixture::kRows; ++r) {
+      const uint16_t* code = f.codes.row(r);
+      float acc = 0.f;
+      for (size_t s = 0; s < AdcScanFixture::kSubspaces; ++s) {
+        acc += f.lut[f.lut_offsets[s] + code[s]];
+      }
+      heap.Push(acc, static_cast<int64_t>(r));
+    }
+    benchmark::DoNotOptimize(heap.Threshold());
+  }
+  state.SetItemsProcessed(state.iterations() * AdcScanFixture::kRows);
+}
+BENCHMARK(BM_AdcFullScanReference);
+
+void AdcBlockedScanBenchmark(benchmark::State& state, ScanKernelType type) {
+  const AdcScanFixture& f = AdcScanFixture::Get();
+  const ScanKernel& kernel = GetScanKernel(type);
+  TopKHeap heap(100);
+  float acc[kScanBlockSize];
+  for (auto _ : state) {
+    heap.Reset(100);
+    BlockedFullScan(f.blocked, nullptr, f.lut.data(), f.lut_offsets.data(),
+                    AdcScanFixture::kSubspaces, kernel, acc, &heap,
+                    nullptr);
+    benchmark::DoNotOptimize(heap.Threshold());
+  }
+  state.SetLabel(kernel.name);
+  state.SetItemsProcessed(state.iterations() * AdcScanFixture::kRows);
+}
+
+void BM_AdcFullScanBlockedScalar(benchmark::State& state) {
+  AdcBlockedScanBenchmark(state, ScanKernelType::kScalar);
+}
+void BM_AdcFullScanBlockedSimd(benchmark::State& state) {
+  if (!Avx2ScanAvailable()) {
+    state.SkipWithError("AVX2 scan kernel not available on this machine");
+    return;
+  }
+  AdcBlockedScanBenchmark(state, ScanKernelType::kAvx2);
+}
+BENCHMARK(BM_AdcFullScanBlockedScalar);
+BENCHMARK(BM_AdcFullScanBlockedSimd);
 
 void BM_VaqEncodeRow(benchmark::State& state) {
   const ScanFixture& fixture = ScanFixture::Get();
@@ -133,4 +238,37 @@ BENCHMARK(BM_BuildLookupTable);
 }  // namespace
 }  // namespace vaq
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): supports `--scan_json[=path]`,
+// which expands to google-benchmark's JSON file reporter (default path
+// BENCH_scan.json in the working directory) so perf-trajectory runs can
+// diff scan throughput across commits without bespoke parsing.
+int main(int argc, char** argv) {
+  std::vector<std::string> storage(argv, argv + argc);
+  std::string out_path;
+  for (auto it = storage.begin(); it != storage.end();) {
+    if (*it == "--scan_json") {
+      out_path = "BENCH_scan.json";
+      it = storage.erase(it);
+    } else if (it->rfind("--scan_json=", 0) == 0) {
+      out_path = it->substr(std::string("--scan_json=").size());
+      it = storage.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!out_path.empty()) {
+    storage.push_back("--benchmark_out=" + out_path);
+    storage.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> args;
+  args.reserve(storage.size());
+  for (std::string& s : storage) args.push_back(s.data());
+  int argc_adjusted = static_cast<int>(args.size());
+  benchmark::Initialize(&argc_adjusted, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc_adjusted, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

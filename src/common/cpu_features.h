@@ -1,0 +1,18 @@
+#ifndef VAQ_COMMON_CPU_FEATURES_H_
+#define VAQ_COMMON_CPU_FEATURES_H_
+
+namespace vaq {
+
+/// Runtime CPU feature detection for kernel dispatch. Detection happens
+/// once (the first call) and is cached; all functions are thread-safe and
+/// return false on non-x86 targets or compilers without the probing
+/// builtin, so callers can branch unconditionally.
+bool CpuHasAvx2();
+
+/// Human-readable summary of the detected features ("avx2" / "generic"),
+/// for benchmark and test logs.
+const char* CpuFeatureString();
+
+}  // namespace vaq
+
+#endif  // VAQ_COMMON_CPU_FEATURES_H_

@@ -34,6 +34,16 @@ class TopKHeap {
  public:
   explicit TopKHeap(size_t k) : k_(k) { VAQ_CHECK(k > 0); }
 
+  /// Reconfigures for a fresh query while keeping the buffer's capacity,
+  /// so a heap stored in a reusable scratch performs no allocations once
+  /// it has grown to its steady-state size.
+  void Reset(size_t k) {
+    VAQ_CHECK(k > 0);
+    k_ = k;
+    heap_.clear();
+    heap_.reserve(k);
+  }
+
   size_t k() const { return k_; }
   size_t size() const { return heap_.size(); }
   bool full() const { return heap_.size() == k_; }
@@ -63,6 +73,15 @@ class TopKHeap {
   std::vector<Neighbor> TakeSorted() {
     std::sort_heap(heap_.begin(), heap_.end());
     return std::move(heap_);
+  }
+
+  /// Copies the results, sorted ascending, into `out` (reusing its
+  /// capacity) and empties the heap while keeping the internal buffer.
+  /// The allocation-free counterpart of TakeSorted for scratch reuse.
+  void ExtractSorted(std::vector<Neighbor>* out) {
+    std::sort_heap(heap_.begin(), heap_.end());
+    out->assign(heap_.begin(), heap_.end());
+    heap_.clear();
   }
 
  private:

@@ -1,0 +1,194 @@
+#include "core/scan.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/cpu_features.h"
+#include "common/macros.h"
+
+namespace vaq {
+
+BlockedCodes BlockedCodes::Build(const CodeMatrix& codes) {
+  BlockedCodes bc;
+  bc.rows_ = codes.rows();
+  bc.num_subspaces_ = codes.cols();
+  if (bc.rows_ == 0 || bc.num_subspaces_ == 0) return bc;
+  const size_t m = bc.num_subspaces_;
+  const size_t blocks = (bc.rows_ + kScanBlockSize - 1) / kScanBlockSize;
+  bc.data_.assign(blocks * m * kScanBlockSize, 0);
+  for (size_t r = 0; r < bc.rows_; ++r) {
+    const uint16_t* src = codes.row(r);
+    const size_t b = r / kScanBlockSize;
+    const size_t lane = r % kScanBlockSize;
+    uint16_t* dst = bc.data_.data() + b * m * kScanBlockSize + lane;
+    for (size_t s = 0; s < m; ++s) dst[s * kScanBlockSize] = src[s];
+  }
+  return bc;
+}
+
+BlockedCodes BlockedCodes::Build(const CodeMatrix& codes, const uint32_t* ids,
+                                 size_t count) {
+  BlockedCodes bc;
+  bc.rows_ = count;
+  bc.num_subspaces_ = codes.cols();
+  if (count == 0 || bc.num_subspaces_ == 0) return bc;
+  const size_t m = bc.num_subspaces_;
+  const size_t blocks = (count + kScanBlockSize - 1) / kScanBlockSize;
+  bc.data_.assign(blocks * m * kScanBlockSize, 0);
+  for (size_t r = 0; r < count; ++r) {
+    VAQ_DCHECK(ids[r] < codes.rows());
+    const uint16_t* src = codes.row(ids[r]);
+    const size_t b = r / kScanBlockSize;
+    const size_t lane = r % kScanBlockSize;
+    uint16_t* dst = bc.data_.data() + b * m * kScanBlockSize + lane;
+    for (size_t s = 0; s < m; ++s) dst[s * kScanBlockSize] = src[s];
+  }
+  return bc;
+}
+
+namespace {
+
+void ScalarAccumulate(const uint16_t* block, const float* lut,
+                      const uint32_t* lut_offsets, size_t s_begin,
+                      size_t s_end, float* acc) {
+  for (size_t s = s_begin; s < s_end; ++s) {
+    const float* base = lut + lut_offsets[s];
+    const uint16_t* codes = block + s * kScanBlockSize;
+    for (size_t i = 0; i < kScanBlockSize; ++i) {
+      acc[i] += base[codes[i]];
+    }
+  }
+}
+
+constexpr ScanKernel kScalarKernel{&ScalarAccumulate, "scalar"};
+
+}  // namespace
+
+#if defined(VAQ_SCAN_AVX2)
+namespace internal {
+// Defined in scan_avx2.cc, the only translation unit built with -mavx2.
+void Avx2Accumulate(const uint16_t* block, const float* lut,
+                    const uint32_t* lut_offsets, size_t s_begin, size_t s_end,
+                    float* acc);
+}  // namespace internal
+
+namespace {
+constexpr ScanKernel kAvx2Kernel{&internal::Avx2Accumulate, "avx2"};
+}  // namespace
+#endif
+
+bool Avx2ScanAvailable() {
+#if defined(VAQ_SCAN_AVX2)
+  return CpuHasAvx2();
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+bool ScalarForcedByEnv() {
+  static const bool forced = [] {
+    const char* env = std::getenv("VAQ_SCAN_KERNEL");
+    return env != nullptr && std::strcmp(env, "scalar") == 0;
+  }();
+  return forced;
+}
+
+}  // namespace
+
+const ScanKernel& GetScanKernel(ScanKernelType type) {
+#if defined(VAQ_SCAN_AVX2)
+  switch (type) {
+    case ScanKernelType::kAuto:
+      return (Avx2ScanAvailable() && !ScalarForcedByEnv()) ? kAvx2Kernel
+                                                           : kScalarKernel;
+    case ScanKernelType::kAvx2:
+      return Avx2ScanAvailable() ? kAvx2Kernel : kScalarKernel;
+    default:
+      return kScalarKernel;
+  }
+#else
+  (void)type;
+  return kScalarKernel;
+#endif
+}
+
+const char* AutoScanKernelName() {
+  return GetScanKernel(ScanKernelType::kAuto).name;
+}
+
+void BlockedFullScan(const BlockedCodes& bc, const uint32_t* ids,
+                     const float* lut, const uint32_t* lut_offsets,
+                     size_t s_limit, const ScanKernel& kernel, float* acc,
+                     TopKHeap* heap, SearchStats* stats) {
+  const size_t n = bc.rows();
+  for (size_t row = 0; row < n; row += kScanBlockSize) {
+    const size_t lanes = std::min(kScanBlockSize, n - row);
+    std::fill(acc, acc + kScanBlockSize, 0.f);
+    kernel.accumulate(bc.block(row / kScanBlockSize), lut, lut_offsets, 0,
+                      s_limit, acc);
+    for (size_t i = 0; i < lanes; ++i) {
+      const size_t global = row + i;
+      heap->Push(acc[i],
+                 static_cast<int64_t>(ids != nullptr ? ids[global] : global));
+    }
+    if (stats != nullptr) {
+      stats->codes_visited += lanes;
+      stats->lut_adds += s_limit * lanes;
+    }
+  }
+}
+
+void BlockedEaScan(const BlockedCodes& bc, size_t row_begin, size_t row_end,
+                   const uint32_t* ids, const float* lut,
+                   const uint32_t* lut_offsets, size_t s_limit,
+                   size_t interval, const ScanKernel& kernel, float* acc,
+                   TopKHeap* heap, SearchStats* stats) {
+  VAQ_DCHECK(row_end <= bc.rows());
+  interval = std::max<size_t>(1, interval);
+  size_t row = row_begin;
+  while (row < row_end) {
+    const size_t b = row / kScanBlockSize;
+    const size_t block_row0 = b * kScanBlockSize;
+    const size_t lo = row - block_row0;
+    const size_t hi =
+        std::min(row_end, block_row0 + kScanBlockSize) - block_row0;
+    const uint16_t* block = bc.block(b);
+    const float threshold = heap->Threshold();
+    std::fill(acc, acc + kScanBlockSize, 0.f);
+    size_t s = 0;
+    bool abandoned = false;
+    while (s < s_limit) {
+      const size_t stop = std::min(s + interval, s_limit);
+      kernel.accumulate(block, lut, lut_offsets, s, stop, acc);
+      s = stop;
+      if (s >= s_limit) break;
+      float min_partial = acc[lo];
+      for (size_t i = lo + 1; i < hi; ++i) {
+        min_partial = std::min(min_partial, acc[i]);
+      }
+      if (min_partial >= threshold) {
+        abandoned = true;
+        break;
+      }
+    }
+    if (stats != nullptr) {
+      stats->codes_visited += hi - lo;
+      stats->lut_adds += s * (hi - lo);
+    }
+    if (!abandoned) {
+      // Every lane holds a complete distance; Push rejects anything at or
+      // above the live threshold, so stale-threshold pushes are harmless.
+      for (size_t i = lo; i < hi; ++i) {
+        const size_t global = block_row0 + i;
+        heap->Push(acc[i], static_cast<int64_t>(
+                               ids != nullptr ? ids[global] : global));
+      }
+    }
+    row = block_row0 + kScanBlockSize;
+  }
+}
+
+}  // namespace vaq

@@ -1,0 +1,149 @@
+#ifndef VAQ_CORE_SCAN_H_
+#define VAQ_CORE_SCAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/topk.h"
+
+namespace vaq {
+
+/// Rows per cache block of the transposed code layout. 64 rows x one
+/// uint16 per subspace = 128 bytes (two cache lines) per subspace stripe,
+/// and 64 float accumulators (256 B) stay resident in L1/registers.
+inline constexpr size_t kScanBlockSize = 64;
+
+/// Counters describing how much work a search did; used to quantify
+/// pruning power in tests and benchmarks. Owned by the scan layer so the
+/// kernels, the index drivers, and the benchmarks agree on one vocabulary.
+struct SearchStats {
+  size_t codes_visited = 0;      ///< codes whose distance accumulation began
+  size_t codes_skipped_ti = 0;   ///< codes pruned by the triangle inequality
+  size_t lut_adds = 0;           ///< lookup-table additions performed
+  size_t clusters_visited = 0;
+  size_t clusters_total = 0;
+
+  void Reset() { *this = SearchStats{}; }
+};
+
+/// Which ADC scan implementation answers a query.
+enum class ScanKernelType {
+  kAuto,       ///< best blocked kernel the CPU supports (the default)
+  kScalar,     ///< blocked scalar kernel (always available)
+  kAvx2,       ///< blocked AVX2 gather kernel; falls back to kScalar when
+               ///< the binary or CPU lacks AVX2
+  kReference,  ///< original row-at-a-time scan, kept as the equivalence
+               ///< oracle for tests and benchmarks
+};
+
+/// Subspace-major, cache-blocked copy of an encoded dataset.
+///
+/// Rows are grouped into blocks of kScanBlockSize; within a block the
+/// codes are transposed so that the kScanBlockSize codes of one subspace
+/// are contiguous:
+///
+///   data[(block * m + s) * kScanBlockSize + i]  ==  codes(block*64 + i, s)
+///
+/// A kernel therefore streams one subspace stripe at a time, turning the
+/// per-row LUT gather into a vectorizable inner loop while every row still
+/// accumulates its subspaces in ascending order — bit-identical to the
+/// row-major reference scan. The last block is padded with code 0 (always
+/// a valid dictionary index); padded lanes are computed and discarded.
+class BlockedCodes {
+ public:
+  BlockedCodes() = default;
+
+  /// Blocks every row of `codes` in row order.
+  static BlockedCodes Build(const CodeMatrix& codes);
+
+  /// Blocks the subset `ids[0..count)` of rows, in that order. Used for
+  /// TI clusters and IVF lists whose members are scanned contiguously.
+  static BlockedCodes Build(const CodeMatrix& codes, const uint32_t* ids,
+                            size_t count);
+
+  size_t rows() const { return rows_; }
+  size_t num_subspaces() const { return num_subspaces_; }
+  size_t num_blocks() const { return data_.empty() ? 0 : data_.size() / (num_subspaces_ * kScanBlockSize); }
+  bool empty() const { return rows_ == 0; }
+
+  /// Start of block `b`'s transposed codes (m * kScanBlockSize entries).
+  const uint16_t* block(size_t b) const {
+    return data_.data() + b * num_subspaces_ * kScanBlockSize;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t num_subspaces_ = 0;
+  std::vector<uint16_t> data_;
+};
+
+/// One ADC accumulation kernel. `accumulate` adds, for every lane
+/// i in [0, kScanBlockSize), the LUT entries of subspaces
+/// [s_begin, s_end) selected by the block's transposed codes:
+///
+///   acc[i] += sum_{s in [s_begin, s_end)} lut[lut_offsets[s] + block[s*64 + i]]
+///
+/// with the per-lane additions performed in ascending subspace order, so
+/// every implementation produces bit-identical float sums.
+struct ScanKernel {
+  using AccumulateFn = void (*)(const uint16_t* block, const float* lut,
+                                const uint32_t* lut_offsets, size_t s_begin,
+                                size_t s_end, float* acc);
+  AccumulateFn accumulate = nullptr;
+  const char* name = "";
+};
+
+/// Resolves a kernel choice against what this binary/CPU supports.
+/// kReference resolves to the scalar block kernel (the reference row-wise
+/// loop lives in the index drivers, not here).
+const ScanKernel& GetScanKernel(ScanKernelType type);
+
+/// True when the AVX2 kernel was compiled in and the CPU supports it.
+bool Avx2ScanAvailable();
+
+/// Name of the kernel kAuto resolves to ("avx2" or "scalar"); honors the
+/// VAQ_SCAN_KERNEL=scalar environment override.
+const char* AutoScanKernelName();
+
+/// Reusable per-thread query state. Threading one of these through
+/// Search/SearchBatch makes the steady-state query path allocation-free:
+/// every vector reaches its high-water size during warmup and is only
+/// resized (never reallocated) afterwards.
+struct SearchScratch {
+  std::vector<float> lut;               ///< ADC lookup table
+  std::vector<float> pca_space;         ///< query in PCA space
+  std::vector<float> projected;         ///< query in permuted PCA space
+  std::vector<float> query_to_cluster;  ///< TI centroid distances
+  std::vector<size_t> order;            ///< TI cluster visit order
+  TopKHeap heap{1};                     ///< reused best-so-far structure
+  float acc[kScanBlockSize] = {};       ///< per-block partial sums
+};
+
+/// Full blocked scan (SearchMode::kHeap): accumulates all `s_limit`
+/// subspaces for every row of `bc` and pushes every distance. `ids` maps
+/// blocked row index -> global id (nullptr = identity). `acc` is a
+/// caller-owned kScanBlockSize buffer (SearchScratch::acc).
+void BlockedFullScan(const BlockedCodes& bc, const uint32_t* ids,
+                     const float* lut, const uint32_t* lut_offsets,
+                     size_t s_limit, const ScanKernel& kernel, float* acc,
+                     TopKHeap* heap, SearchStats* stats);
+
+/// Blocked early-abandoning scan of rows [row_begin, row_end) of `bc`.
+/// The best-so-far threshold is read once per block; after every
+/// `interval` subspaces the block is abandoned when the minimum partial
+/// sum over its active lanes already exceeds that threshold (no lane can
+/// improve the heap). Only fully-accumulated rows are ever pushed, so an
+/// abandoned partial sum is never mistaken for a distance — the same
+/// invariant as the reference per-row early abandon, and therefore the
+/// same final top-k.
+void BlockedEaScan(const BlockedCodes& bc, size_t row_begin, size_t row_end,
+                   const uint32_t* ids, const float* lut,
+                   const uint32_t* lut_offsets, size_t s_limit,
+                   size_t interval, const ScanKernel& kernel, float* acc,
+                   TopKHeap* heap, SearchStats* stats);
+
+}  // namespace vaq
+
+#endif  // VAQ_CORE_SCAN_H_

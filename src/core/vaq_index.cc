@@ -154,7 +154,23 @@ Result<VaqIndex> VaqIndex::Train(const FloatMatrix& data,
     topts.prefix_subspaces = prefix;
   }
   VAQ_RETURN_IF_ERROR(index.ti_.Build(index.codes_, index.books_, topts));
+  index.BuildScanStructures();
   return index;
+}
+
+void VaqIndex::BuildScanStructures() {
+  lut_offsets32_.resize(num_subspaces());
+  for (size_t s = 0; s < num_subspaces(); ++s) {
+    lut_offsets32_[s] = static_cast<uint32_t>(books_.lut_offset(s));
+  }
+  blocked_ = BlockedCodes::Build(codes_);
+  ti_blocked_.clear();
+  ti_blocked_.reserve(ti_.num_clusters());
+  for (size_t c = 0; c < ti_.num_clusters(); ++c) {
+    const TiPartition::Cluster& cluster = ti_.cluster(c);
+    ti_blocked_.push_back(
+        BlockedCodes::Build(codes_, cluster.ids.data(), cluster.ids.size()));
+  }
 }
 
 Status VaqIndex::Add(const FloatMatrix& data) {
@@ -180,7 +196,9 @@ Status VaqIndex::Add(const FloatMatrix& data) {
   topts.num_threads = options_.train_threads;
   topts.prefix_subspaces = ti_.prefix_subspaces();
   topts.seed = options_.seed ^ 0x7153A9F2ULL;
-  return ti_.Build(codes_, books_, topts);
+  VAQ_RETURN_IF_ERROR(ti_.Build(codes_, books_, topts));
+  BuildScanStructures();
+  return Status::OK();
 }
 
 void VaqIndex::ProjectQuery(const float* query,
@@ -193,10 +211,14 @@ void VaqIndex::ProjectQuery(const float* query,
   }
 }
 
-void VaqIndex::SearchProjected(const float* projected,
-                               const SearchParams& params, TopKHeap* heap,
-                               SearchStats* stats) const {
-  std::vector<float> lut;
+/// Original row-at-a-time scan, kept verbatim as the correctness oracle
+/// for the blocked kernels (selected via ScanKernelType::kReference).
+void VaqIndex::SearchProjectedReference(const float* projected,
+                                        const SearchParams& params,
+                                        SearchScratch* scratch,
+                                        TopKHeap* heap,
+                                        SearchStats* stats) const {
+  std::vector<float>& lut = scratch->lut;
   books_.BuildLookupTable(projected, &lut);
 
   const size_t m = num_subspaces();
@@ -239,9 +261,10 @@ void VaqIndex::SearchProjected(const float* projected,
   }
 
   // Triangle inequality cascade (Algorithm 4).
-  std::vector<float> query_to_cluster;
+  std::vector<float>& query_to_cluster = scratch->query_to_cluster;
   ti_.QueryDistances(projected, &query_to_cluster);
-  std::vector<size_t> order(ti_.num_clusters());
+  std::vector<size_t>& order = scratch->order;
+  order.resize(ti_.num_clusters());
   std::iota(order.begin(), order.end(), size_t{0});
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     return query_to_cluster[a] < query_to_cluster[b];
@@ -303,8 +326,132 @@ void VaqIndex::SearchProjected(const float* projected,
   }
 }
 
+/// Blocked scan dispatch: all three SearchModes run on the transposed
+/// cache-blocked layout through a runtime-selected kernel. Accumulation
+/// order per row is identical to the reference, so neighbors and
+/// distances match it bit for bit; only the work counters reflect the
+/// block-granular (rather than row-granular) abandoning decisions.
+void VaqIndex::SearchProjected(const float* projected,
+                               const SearchParams& params,
+                               SearchScratch* scratch, TopKHeap* heap,
+                               SearchStats* stats) const {
+  if (params.kernel == ScanKernelType::kReference) {
+    SearchProjectedReference(projected, params, scratch, heap, stats);
+    return;
+  }
+  const ScanKernel& kernel = GetScanKernel(params.kernel);
+
+  std::vector<float>& lut = scratch->lut;
+  books_.BuildLookupTable(projected, &lut);
+
+  const size_t m = num_subspaces();
+  const size_t s_limit = params.num_subspaces_used == 0
+                             ? m
+                             : std::min(params.num_subspaces_used, m);
+  SearchMode mode = params.mode;
+  if (mode == SearchMode::kTriangleInequality && s_limit != m) {
+    mode = SearchMode::kEarlyAbandon;  // TI caches assume full distances
+  }
+  const size_t interval = std::max<size_t>(1, params.ea_check_interval);
+
+  if (mode == SearchMode::kHeap) {
+    BlockedFullScan(blocked_, nullptr, lut.data(), lut_offsets32_.data(),
+                    s_limit, kernel, scratch->acc, heap, stats);
+    return;
+  }
+
+  if (mode == SearchMode::kEarlyAbandon) {
+    BlockedEaScan(blocked_, 0, blocked_.rows(), nullptr, lut.data(),
+                  lut_offsets32_.data(), s_limit, interval, kernel,
+                  scratch->acc, heap, stats);
+    return;
+  }
+
+  // Triangle inequality cascade (Algorithm 4), block-wise: clusters are
+  // ranked as in the reference, and within a cluster the sorted cached
+  // distances bound a candidate window that is re-tightened from the live
+  // threshold before each block rather than before each row.
+  std::vector<float>& query_to_cluster = scratch->query_to_cluster;
+  ti_.QueryDistances(projected, &query_to_cluster);
+  std::vector<size_t>& order = scratch->order;
+  order.resize(ti_.num_clusters());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return query_to_cluster[a] < query_to_cluster[b];
+  });
+  const size_t visit = std::clamp<size_t>(
+      static_cast<size_t>(std::ceil(params.visit_fraction *
+                                    static_cast<double>(order.size()))),
+      1, order.size());
+  if (stats != nullptr) {
+    stats->clusters_total = order.size();
+    stats->clusters_visited = visit;
+  }
+
+  for (size_t v = 0; v < visit; ++v) {
+    const size_t c = order[v];
+    const TiPartition::Cluster& cluster = ti_.cluster(c);
+    if (cluster.ids.empty()) continue;
+    const BlockedCodes& bc = ti_blocked_[c];
+    const float dq = query_to_cluster[c];
+    const float* cached = cluster.distances.data();
+
+    // Members that can beat the best-so-far satisfy
+    // |dq - d(x, centroid)| < bsf, i.e. d(x, centroid) in (dq-r, dq+r).
+    size_t begin = 0;
+    size_t end = cluster.ids.size();
+    if (heap->full()) {
+      const float r = std::sqrt(heap->Threshold());
+      begin = std::lower_bound(cached, cached + end, dq - r) - cached;
+      end = std::upper_bound(cached + begin, cached + end, dq + r) - cached;
+      if (stats != nullptr) {
+        stats->codes_skipped_ti += cluster.ids.size() - (end - begin);
+      }
+    }
+    size_t i = begin;
+    while (i < end) {
+      size_t stop = end;
+      if (heap->full()) {
+        const float r = std::sqrt(heap->Threshold());
+        // Leading members too close to the centroid cannot improve.
+        const size_t skip_to =
+            std::upper_bound(cached + i, cached + end, dq - r) - cached;
+        if (stats != nullptr) stats->codes_skipped_ti += skip_to - i;
+        i = skip_to;
+        if (i >= end) break;
+        // Sorted ascending: everything at or past dq + r is out of range.
+        stop = std::lower_bound(cached + i, cached + end, dq + r) - cached;
+        if (stop == i) {
+          if (stats != nullptr) stats->codes_skipped_ti += end - i;
+          break;
+        }
+      }
+      // Scan to the nearer of the window edge and the block boundary, so
+      // the window is re-tightened against the improved threshold before
+      // the next block starts.
+      const size_t chunk_end =
+          std::min(stop, (i / kScanBlockSize + 1) * kScanBlockSize);
+      BlockedEaScan(bc, i, chunk_end, cluster.ids.data(), lut.data(),
+                    lut_offsets32_.data(), m, interval, kernel, scratch->acc,
+                    heap, stats);
+      if (chunk_end == stop && stop < end) {
+        if (stats != nullptr) stats->codes_skipped_ti += end - stop;
+        break;
+      }
+      i = chunk_end;
+    }
+  }
+}
+
 Status VaqIndex::Search(const float* query, const SearchParams& params,
                         std::vector<Neighbor>* out,
+                        SearchStats* stats) const {
+  SearchScratch scratch;
+  return Search(query, params, &scratch, out, stats);
+}
+
+Status VaqIndex::Search(const float* query, const SearchParams& params,
+                        SearchScratch* scratch, std::vector<Neighbor>* out,
                         SearchStats* stats) const {
   if (!books_.trained()) {
     return Status::FailedPrecondition("index is not trained");
@@ -313,12 +460,17 @@ Status VaqIndex::Search(const float* query, const SearchParams& params,
   if (params.visit_fraction <= 0.0 || params.visit_fraction > 1.0) {
     return Status::InvalidArgument("visit_fraction must be in (0, 1]");
   }
-  std::vector<float> projected;
-  ProjectQuery(query, &projected);
+  scratch->pca_space.resize(dim());
+  pca_.TransformRow(query, scratch->pca_space.data());
+  scratch->projected.resize(dim());
+  for (size_t p = 0; p < dim(); ++p) {
+    scratch->projected[p] = scratch->pca_space[permutation_[p]];
+  }
 
-  TopKHeap heap(params.k);
-  SearchProjected(projected.data(), params, &heap, stats);
-  *out = heap.TakeSorted();
+  scratch->heap.Reset(params.k);
+  SearchProjected(scratch->projected.data(), params, scratch, &scratch->heap,
+                  stats);
+  scratch->heap.ExtractSorted(out);
   for (Neighbor& nb : *out) {
     nb.distance = std::sqrt(std::max(0.f, nb.distance));
   }
@@ -328,23 +480,34 @@ Status VaqIndex::Search(const float* query, const SearchParams& params,
 Result<std::vector<std::vector<Neighbor>>> VaqIndex::SearchBatch(
     const FloatMatrix& queries, const SearchParams& params,
     size_t num_threads) const {
+  std::vector<std::vector<Neighbor>> results;
+  VAQ_RETURN_IF_ERROR(SearchBatchInto(queries, params, num_threads, &results));
+  return results;
+}
+
+Status VaqIndex::SearchBatchInto(
+    const FloatMatrix& queries, const SearchParams& params,
+    size_t num_threads, std::vector<std::vector<Neighbor>>* results) const {
   if (queries.cols() != dim()) {
     return Status::InvalidArgument("query dimension mismatch");
   }
-  std::vector<std::vector<Neighbor>> results(queries.rows());
+  results->resize(queries.rows());
   if (num_threads == 0) {
     num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
   }
   num_threads = std::min(num_threads, std::max<size_t>(1, queries.rows()));
   if (num_threads <= 1) {
+    SearchScratch scratch;
     for (size_t q = 0; q < queries.rows(); ++q) {
-      VAQ_RETURN_IF_ERROR(Search(queries.row(q), params, &results[q]));
+      VAQ_RETURN_IF_ERROR(
+          Search(queries.row(q), params, &scratch, &(*results)[q]));
     }
-    return results;
+    return Status::OK();
   }
-  // Queries are independent; each worker owns a disjoint slice. The first
-  // error (all failure modes are argument validation, identical across
-  // queries) is reported after the join.
+  // Queries are independent; each worker owns a disjoint slice and one
+  // scratch, so the per-query path is allocation-free once warmed up. The
+  // first error (all failure modes are argument validation, identical
+  // across queries) is reported after the join.
   std::vector<Status> failures(num_threads);
   std::vector<std::thread> workers;
   const size_t chunk = (queries.rows() + num_threads - 1) / num_threads;
@@ -352,10 +515,12 @@ Result<std::vector<std::vector<Neighbor>>> VaqIndex::SearchBatch(
     const size_t begin = t * chunk;
     const size_t end = std::min(queries.rows(), begin + chunk);
     if (begin >= end) break;
-    workers.emplace_back([this, &queries, &params, &results, &failures, t,
+    workers.emplace_back([this, &queries, &params, results, &failures, t,
                           begin, end] {
+      SearchScratch scratch;
       for (size_t q = begin; q < end; ++q) {
-        const Status st = Search(queries.row(q), params, &results[q]);
+        const Status st =
+            Search(queries.row(q), params, &scratch, &(*results)[q]);
         if (!st.ok()) {
           failures[t] = st;
           return;
@@ -367,7 +532,7 @@ Result<std::vector<std::vector<Neighbor>>> VaqIndex::SearchBatch(
   for (const Status& st : failures) {
     if (!st.ok()) return st;
   }
-  return results;
+  return Status::OK();
 }
 
 Status VaqIndex::Save(const std::string& path) const {
@@ -463,6 +628,7 @@ Result<VaqIndex> VaqIndex::Load(const std::string& path) {
   index.bits_ = index.books_.bits();
   VAQ_RETURN_IF_ERROR(ReadMatrix(is, &index.codes_));
   VAQ_RETURN_IF_ERROR(index.ti_.Load(is));
+  index.BuildScanStructures();
   return index;
 }
 

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "common/topk.h"
 #include "core/codebook.h"
+#include "core/scan.h"
 #include "core/subspace.h"
 #include "core/ti_partition.h"
 #include "linalg/pca.h"
@@ -69,20 +70,14 @@ struct SearchParams {
   size_t num_subspaces_used = 0;
   /// How many subspaces to accumulate between early-abandon threshold
   /// checks (Section III-E notes checks "after every four subspaces" to
-  /// amortize the branch). 1 checks after every lookup.
+  /// amortize the branch). The blocked scan checks once per block after
+  /// every `ea_check_interval` subspaces.
   size_t ea_check_interval = 4;
-};
-
-/// Counters describing how much work a search did; used to quantify
-/// pruning power in tests and benchmarks.
-struct SearchStats {
-  size_t codes_visited = 0;      ///< codes whose distance accumulation began
-  size_t codes_skipped_ti = 0;   ///< codes pruned by the triangle inequality
-  size_t lut_adds = 0;           ///< lookup-table additions performed
-  size_t clusters_visited = 0;
-  size_t clusters_total = 0;
-
-  void Reset() { *this = SearchStats{}; }
+  /// Which ADC scan implementation runs the accumulation. kAuto picks the
+  /// fastest blocked kernel for this CPU; kReference is the original
+  /// row-at-a-time loop, kept as the correctness oracle. All choices
+  /// return bit-identical neighbors and distances.
+  ScanKernelType kernel = ScanKernelType::kAuto;
 };
 
 /// Variance-Aware Quantization index: the paper's end-to-end system
@@ -122,9 +117,18 @@ class VaqIndex {
   size_t code_bytes() const { return codes_.size() * sizeof(uint16_t); }
 
   /// k-NN search for a raw (unprojected) query of length dim(). Results
-  /// are ADC distance estimates (non-squared), ascending.
+  /// are ADC distance estimates (non-squared), ascending. This overload
+  /// allocates a fresh SearchScratch per call.
   Status Search(const float* query, const SearchParams& params,
                 std::vector<Neighbor>* out, SearchStats* stats = nullptr) const;
+
+  /// Same, but reuses caller-owned scratch. After a warmup query the hot
+  /// path performs no heap allocations: the lookup table, projection
+  /// buffers, TI ordering, and top-k heap all live in `scratch`, and `out`
+  /// is refilled in place.
+  Status Search(const float* query, const SearchParams& params,
+                SearchScratch* scratch, std::vector<Neighbor>* out,
+                SearchStats* stats = nullptr) const;
 
   /// Batch search over the rows of `queries`. `num_threads` > 1 answers
   /// queries concurrently (each query remains single-threaded, matching
@@ -132,6 +136,14 @@ class VaqIndex {
   Result<std::vector<std::vector<Neighbor>>> SearchBatch(
       const FloatMatrix& queries, const SearchParams& params,
       size_t num_threads = 1) const;
+
+  /// Batch search into a caller-owned result buffer. `results` is resized
+  /// to the query count; per-query vectors and per-worker scratches are
+  /// reused across calls, so a steady-state serving loop that recycles
+  /// `results` performs no per-query allocations after its first batch.
+  Status SearchBatchInto(const FloatMatrix& queries,
+                         const SearchParams& params, size_t num_threads,
+                         std::vector<std::vector<Neighbor>>* results) const;
 
   /// Projects a raw vector into the index's (permuted PCA) code space.
   void ProjectQuery(const float* query, std::vector<float>* projected) const;
@@ -141,7 +153,15 @@ class VaqIndex {
 
  private:
   void SearchProjected(const float* projected, const SearchParams& params,
-                       TopKHeap* heap, SearchStats* stats) const;
+                       SearchScratch* scratch, TopKHeap* heap,
+                       SearchStats* stats) const;
+  void SearchProjectedReference(const float* projected,
+                                const SearchParams& params,
+                                SearchScratch* scratch, TopKHeap* heap,
+                                SearchStats* stats) const;
+  /// (Re)builds the blocked code layouts and narrow LUT offsets the scan
+  /// kernels consume. Called after Train/Add/Load mutate codes_ or ti_.
+  void BuildScanStructures();
 
   VaqOptions options_;
   Pca pca_;
@@ -153,6 +173,11 @@ class VaqIndex {
   VariableCodebooks books_;
   CodeMatrix codes_;
   TiPartition ti_;
+  // Scan-layer views of the database: derived from codes_/ti_ and rebuilt
+  // by BuildScanStructures (never serialized).
+  BlockedCodes blocked_;                 ///< whole database, row order
+  std::vector<BlockedCodes> ti_blocked_; ///< one per TI cluster, member order
+  std::vector<uint32_t> lut_offsets32_;  ///< books_.lut_offset as uint32
 };
 
 }  // namespace vaq

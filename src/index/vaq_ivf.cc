@@ -89,7 +89,21 @@ Result<VaqIvfIndex> VaqIvfIndex::Train(const FloatMatrix& data,
   for (size_t r = 0; r < data.rows(); ++r) {
     index.lists_[assign[r]].push_back(static_cast<uint32_t>(r));
   }
+  index.BuildScanStructures();
   return index;
+}
+
+void VaqIvfIndex::BuildScanStructures() {
+  lut_offsets32_.resize(books_.num_subspaces());
+  for (size_t s = 0; s < books_.num_subspaces(); ++s) {
+    lut_offsets32_[s] = static_cast<uint32_t>(books_.lut_offset(s));
+  }
+  list_blocked_.clear();
+  list_blocked_.reserve(lists_.size());
+  for (const auto& list : lists_) {
+    list_blocked_.push_back(
+        BlockedCodes::Build(codes_, list.data(), list.size()));
+  }
 }
 
 namespace {
@@ -154,11 +168,19 @@ Result<VaqIvfIndex> VaqIvfIndex::Load(const std::string& path) {
   for (auto& list : index.lists_) {
     VAQ_RETURN_IF_ERROR(ReadVector(is, &list));
   }
+  index.BuildScanStructures();
   return index;
 }
 
 Status VaqIvfIndex::Search(const float* query, size_t k, size_t nprobe,
                            std::vector<Neighbor>* out,
+                           SearchStats* stats) const {
+  SearchScratch scratch;
+  return Search(query, k, nprobe, &scratch, out, stats);
+}
+
+Status VaqIvfIndex::Search(const float* query, size_t k, size_t nprobe,
+                           SearchScratch* scratch, std::vector<Neighbor>* out,
                            SearchStats* stats) const {
   if (!books_.trained()) {
     return Status::FailedPrecondition("index is not trained");
@@ -168,54 +190,79 @@ Status VaqIvfIndex::Search(const float* query, size_t k, size_t nprobe,
   nprobe = std::min(nprobe, coarse_.k());
 
   // Project the query into the permuted PCA space.
-  std::vector<float> pca_space(dim());
-  pca_.TransformRow(query, pca_space.data());
-  std::vector<float> projected(dim());
+  scratch->pca_space.resize(dim());
+  pca_.TransformRow(query, scratch->pca_space.data());
+  std::vector<float>& projected = scratch->projected;
+  projected.resize(dim());
   for (size_t p = 0; p < dim(); ++p) {
-    projected[p] = pca_space[permutation_[p]];
+    projected[p] = scratch->pca_space[permutation_[p]];
   }
 
-  std::vector<float> lut;
+  std::vector<float>& lut = scratch->lut;
   books_.BuildLookupTable(projected.data(), &lut);
 
-  // Rank the coarse cells by query distance.
-  std::vector<std::pair<float, uint32_t>> cells(coarse_.k());
+  // Rank the coarse cells by query distance; `query_to_cluster` holds the
+  // distances and `order` the cell ranking, mirroring VaqIndex's TI path.
+  std::vector<float>& cell_dist = scratch->query_to_cluster;
+  cell_dist.resize(coarse_.k());
   for (size_t c = 0; c < coarse_.k(); ++c) {
-    cells[c] = {SquaredL2(projected.data(), coarse_.centroids().row(c),
-                          dim()),
-                static_cast<uint32_t>(c)};
+    cell_dist[c] =
+        SquaredL2(projected.data(), coarse_.centroids().row(c), dim());
   }
-  std::partial_sort(cells.begin(), cells.begin() + nprobe, cells.end());
+  std::vector<size_t>& order = scratch->order;
+  order.resize(coarse_.k());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::partial_sort(order.begin(), order.begin() + nprobe, order.end(),
+                    [&](size_t a, size_t b) {
+                      if (cell_dist[a] != cell_dist[b]) {
+                        return cell_dist[a] < cell_dist[b];
+                      }
+                      return a < b;
+                    });
   if (stats != nullptr) {
     stats->clusters_total = coarse_.k();
     stats->clusters_visited = nprobe;
   }
 
-  // Early-abandoned ADC scan of the probed lists (importance-ordered
-  // subspaces, checks every 4 lookups, as in VaqIndex).
+  // Blocked early-abandoned ADC scan of the probed lists
+  // (importance-ordered subspaces, threshold checked once per block every
+  // 4 subspaces, same kernels as VaqIndex).
   const size_t m = books_.num_subspaces();
-  TopKHeap heap(k);
-  for (size_t v = 0; v < nprobe; ++v) {
-    for (uint32_t id : lists_[cells[v].second]) {
-      const float threshold = heap.Threshold();
-      const uint16_t* code = codes_.row(id);
-      float acc = 0.f;
-      size_t s = 0;
-      while (s < m) {
-        const size_t stop = std::min(s + 4, m);
-        for (; s < stop; ++s) {
-          acc += lut[books_.lut_offset(s) + code[s]];
+  TopKHeap& heap = scratch->heap;
+  heap.Reset(k);
+  if (options_.scan_kernel == ScanKernelType::kReference) {
+    for (size_t v = 0; v < nprobe; ++v) {
+      for (uint32_t id : lists_[order[v]]) {
+        const float threshold = heap.Threshold();
+        const uint16_t* code = codes_.row(id);
+        float acc = 0.f;
+        size_t s = 0;
+        while (s < m) {
+          const size_t stop = std::min(s + 4, m);
+          for (; s < stop; ++s) {
+            acc += lut[books_.lut_offset(s) + code[s]];
+          }
+          if (acc >= threshold) break;
         }
-        if (acc >= threshold) break;
+        if (stats != nullptr) {
+          ++stats->codes_visited;
+          stats->lut_adds += s;
+        }
+        if (acc < threshold) heap.Push(acc, static_cast<int64_t>(id));
       }
-      if (stats != nullptr) {
-        ++stats->codes_visited;
-        stats->lut_adds += s;
-      }
-      if (acc < threshold) heap.Push(acc, static_cast<int64_t>(id));
+    }
+  } else {
+    const ScanKernel& kernel = GetScanKernel(options_.scan_kernel);
+    for (size_t v = 0; v < nprobe; ++v) {
+      const size_t c = order[v];
+      const BlockedCodes& bc = list_blocked_[c];
+      if (bc.empty()) continue;
+      BlockedEaScan(bc, 0, bc.rows(), lists_[c].data(), lut.data(),
+                    lut_offsets32_.data(), m, /*interval=*/4, kernel,
+                    scratch->acc, &heap, stats);
     }
   }
-  *out = heap.TakeSorted();
+  heap.ExtractSorted(out);
   for (Neighbor& nb : *out) nb.distance = std::sqrt(std::max(0.f, nb.distance));
   return Status::OK();
 }

@@ -18,6 +18,9 @@ struct VaqIvfOptions {
   size_t coarse_k = 256;
   /// Default number of lists probed per query.
   size_t default_nprobe = 8;
+  /// ADC scan implementation for the in-list scans (shared with VaqIndex;
+  /// see ScanKernelType). All choices return identical results.
+  ScanKernelType scan_kernel = ScanKernelType::kAuto;
 };
 
 /// Inverted-file index over VAQ primitives — the "new index for
@@ -44,10 +47,19 @@ class VaqIvfIndex {
                 std::vector<Neighbor>* out,
                 SearchStats* stats = nullptr) const;
 
+  /// Same, but reuses caller-owned scratch for an allocation-free
+  /// steady-state query path (see VaqIndex::Search).
+  Status Search(const float* query, size_t k, size_t nprobe,
+                SearchScratch* scratch, std::vector<Neighbor>* out,
+                SearchStats* stats = nullptr) const;
+
   Status Save(const std::string& path) const;
   static Result<VaqIvfIndex> Load(const std::string& path);
 
  private:
+  /// (Re)builds the per-list blocked code layouts after Train/Load.
+  void BuildScanStructures();
+
   VaqIvfOptions options_;
   Pca pca_;
   std::vector<size_t> permutation_;
@@ -57,6 +69,8 @@ class VaqIvfIndex {
   CodeMatrix codes_;
   KMeans coarse_;                            ///< over projected vectors
   std::vector<std::vector<uint32_t>> lists_; ///< ids per coarse cell
+  std::vector<BlockedCodes> list_blocked_;   ///< scan views of lists_
+  std::vector<uint32_t> lut_offsets32_;
 };
 
 }  // namespace vaq

@@ -13,6 +13,7 @@
 /// plus dataset generators (datasets/), evaluation utilities (eval/), and
 /// the numeric substrates (linalg/, clustering/, solver/).
 
+#include "common/cpu_features.h"
 #include "common/matrix.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -22,6 +23,7 @@
 #include "core/balance.h"
 #include "core/codebook.h"
 #include "core/packed_codes.h"
+#include "core/scan.h"
 #include "core/subspace.h"
 #include "core/ti_partition.h"
 #include "core/vaq_index.h"

@@ -1,0 +1,458 @@
+// Tests for the blocked, SIMD-dispatched ADC scan layer: kernel-level
+// equivalence against a hand-rolled row-wise oracle, end-to-end
+// equivalence of every kernel across all three SearchModes (neighbors,
+// distances, and SearchStats), odd bit allocations, block-remainder
+// sizes, subspace prefixes, and the allocation-free scratch reuse
+// contract of the steady-state query path.
+
+#include "core/scan.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/cpu_features.h"
+#include "common/rng.h"
+#include "core/vaq_index.h"
+#include "datasets/synthetic.h"
+#include "index/vaq_ivf.h"
+
+// Global allocation counter used by the scratch-reuse test. Counting in
+// operator new (instead of hooking malloc) keeps the test portable; the
+// passthrough is cheap enough to leave enabled for the whole binary.
+namespace {
+std::atomic<size_t> g_live_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_live_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace vaq {
+namespace {
+
+size_t AllocCount() { return g_live_allocs.load(std::memory_order_relaxed); }
+
+// ---------------------------------------------------------------------------
+// Kernel-level tests against a synthetic codebook-free setup: odd bit
+// widths, prefixes, and block remainders without k-means training cost.
+// ---------------------------------------------------------------------------
+
+struct RawAdcProblem {
+  std::vector<int> bits;
+  std::vector<uint32_t> lut_offsets;
+  std::vector<float> lut;
+  CodeMatrix codes;
+
+  static RawAdcProblem Make(size_t n, std::vector<int> bits, uint64_t seed) {
+    RawAdcProblem p;
+    p.bits = std::move(bits);
+    const size_t m = p.bits.size();
+    p.lut_offsets.resize(m);
+    size_t entries = 0;
+    for (size_t s = 0; s < m; ++s) {
+      p.lut_offsets[s] = static_cast<uint32_t>(entries);
+      entries += size_t{1} << p.bits[s];
+    }
+    Rng rng(seed);
+    p.lut.resize(entries);
+    for (float& v : p.lut) v = rng.NextFloat();
+    p.codes.Resize(n, m);
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t s = 0; s < m; ++s) {
+        const size_t k = size_t{1} << p.bits[s];
+        p.codes(r, s) = static_cast<uint16_t>(rng.NextIndex(k));
+      }
+    }
+    return p;
+  }
+
+  // Row-wise oracle with the canonical ascending-subspace accumulation.
+  float RowDistance(size_t r, size_t s_limit) const {
+    float acc = 0.f;
+    for (size_t s = 0; s < s_limit; ++s) {
+      acc += lut[lut_offsets[s] + codes(r, s)];
+    }
+    return acc;
+  }
+};
+
+std::vector<ScanKernelType> BlockedKernels() {
+  std::vector<ScanKernelType> kernels{ScanKernelType::kScalar};
+  if (Avx2ScanAvailable()) kernels.push_back(ScanKernelType::kAvx2);
+  return kernels;
+}
+
+TEST(BlockedCodesTest, TransposesRowsIntoSubspaceStripes) {
+  RawAdcProblem p = RawAdcProblem::Make(/*n=*/130, {3, 1, 5, 2}, 11);
+  const BlockedCodes bc = BlockedCodes::Build(p.codes);
+  ASSERT_EQ(bc.rows(), 130u);
+  ASSERT_EQ(bc.num_subspaces(), 4u);
+  ASSERT_EQ(bc.num_blocks(), 3u);  // 130 = 2*64 + 2
+  for (size_t r = 0; r < bc.rows(); ++r) {
+    const size_t b = r / kScanBlockSize;
+    const size_t lane = r % kScanBlockSize;
+    for (size_t s = 0; s < 4; ++s) {
+      EXPECT_EQ(bc.block(b)[s * kScanBlockSize + lane], p.codes(r, s))
+          << "r=" << r << " s=" << s;
+    }
+  }
+  // Padded lanes of the last block hold code 0 (a valid LUT index).
+  for (size_t lane = 2; lane < kScanBlockSize; ++lane) {
+    for (size_t s = 0; s < 4; ++s) {
+      EXPECT_EQ(bc.block(2)[s * kScanBlockSize + lane], 0u);
+    }
+  }
+}
+
+TEST(BlockedCodesTest, SubsetBuildFollowsIdOrder) {
+  RawAdcProblem p = RawAdcProblem::Make(/*n=*/100, {4, 2}, 13);
+  const std::vector<uint32_t> ids = {99, 0, 42, 7, 7, 65};
+  const BlockedCodes bc = BlockedCodes::Build(p.codes, ids.data(), ids.size());
+  ASSERT_EQ(bc.rows(), ids.size());
+  for (size_t r = 0; r < ids.size(); ++r) {
+    for (size_t s = 0; s < 2; ++s) {
+      EXPECT_EQ(bc.block(0)[s * kScanBlockSize + r], p.codes(ids[r], s));
+    }
+  }
+}
+
+class KernelEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(KernelEquivalenceTest, FullScanMatchesRowOracleBitExactly) {
+  const auto [n, s_limit_param] = GetParam();
+  // Odd, mixed 1..13-bit allocation exercising every LUT stride class.
+  RawAdcProblem p =
+      RawAdcProblem::Make(n, {13, 11, 7, 5, 3, 2, 1, 9, 1, 13}, 17 + n);
+  const size_t s_limit = s_limit_param == 0 ? p.bits.size() : s_limit_param;
+  const BlockedCodes bc = BlockedCodes::Build(p.codes);
+  for (ScanKernelType type : BlockedKernels()) {
+    const ScanKernel& kernel = GetScanKernel(type);
+    TopKHeap heap(n);  // keep everything: exposes each row's distance
+    SearchStats stats;
+    float acc[kScanBlockSize];
+    BlockedFullScan(bc, nullptr, p.lut.data(), p.lut_offsets.data(), s_limit,
+                    kernel, acc, &heap, &stats);
+    EXPECT_EQ(stats.codes_visited, n);
+    EXPECT_EQ(stats.lut_adds, n * s_limit);
+    const std::vector<Neighbor> got = heap.TakeSorted();
+    ASSERT_EQ(got.size(), n);
+    for (const Neighbor& nb : got) {
+      // Bit-exact float equality, not approximate: same accumulation order.
+      EXPECT_EQ(nb.distance, p.RowDistance(nb.id, s_limit))
+          << "kernel=" << kernel.name << " id=" << nb.id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndPrefixes, KernelEquivalenceTest,
+    ::testing::Combine(
+        // Block remainders: exact multiple, off-by-one both ways, tiny.
+        ::testing::Values<size_t>(1, 63, 64, 65, 128, 500),
+        // Subspace prefixes (0 = all 10).
+        ::testing::Values<size_t>(0, 1, 3, 10)),
+    [](const ::testing::TestParamInfo<std::tuple<size_t, size_t>>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(KernelEquivalenceTest, ScalarAndSimdAgreeOnEaScanIncludingStats) {
+  if (!Avx2ScanAvailable()) GTEST_SKIP() << "no AVX2 kernel in this build";
+  RawAdcProblem p = RawAdcProblem::Make(777, {8, 6, 5, 4, 3, 2, 1, 1}, 23);
+  const BlockedCodes bc = BlockedCodes::Build(p.codes);
+  for (size_t interval : {1, 4, 7}) {
+    TopKHeap heap_scalar(10), heap_simd(10);
+    SearchStats stats_scalar, stats_simd;
+    float acc[kScanBlockSize];
+    BlockedEaScan(bc, 0, bc.rows(), nullptr, p.lut.data(),
+                  p.lut_offsets.data(), p.bits.size(), interval,
+                  GetScanKernel(ScanKernelType::kScalar), acc, &heap_scalar,
+                  &stats_scalar);
+    BlockedEaScan(bc, 0, bc.rows(), nullptr, p.lut.data(),
+                  p.lut_offsets.data(), p.bits.size(), interval,
+                  GetScanKernel(ScanKernelType::kAvx2), acc, &heap_simd,
+                  &stats_simd);
+    // The abandoning decisions depend on the partial sums, so identical
+    // counters are only possible if the kernels agree bit for bit.
+    EXPECT_EQ(stats_scalar.codes_visited, stats_simd.codes_visited);
+    EXPECT_EQ(stats_scalar.lut_adds, stats_simd.lut_adds);
+    const std::vector<Neighbor> a = heap_scalar.TakeSorted();
+    const std::vector<Neighbor> b = heap_simd.TakeSorted();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_EQ(a[i].distance, b[i].distance);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end equivalence on a trained index: every kernel must return the
+// reference path's neighbors and distances bit for bit, in all modes.
+// ---------------------------------------------------------------------------
+
+class ScanSearchEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // 1200 rows = 18 full blocks + a 48-row remainder.
+    data_ = GenerateSpectrumMixture(1200, 32, PowerLawSpectrum(32, 1.2), 8,
+                                    1.0, 3);
+    queries_ = GenerateSpectrumMixture(16, 32, PowerLawSpectrum(32, 1.2), 8,
+                                       1.0, 1003);
+    VaqOptions opts;
+    opts.num_subspaces = 8;
+    opts.total_bits = 48;  // adaptive: mixed odd widths across subspaces
+    opts.min_bits = 1;
+    opts.max_bits = 13;
+    opts.ti_clusters = 32;
+    opts.kmeans_iters = 10;
+    opts.seed = 7;
+    auto index = VaqIndex::Train(data_, opts);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    index_ = std::move(*index);
+  }
+
+  void ExpectSameResults(const SearchParams& reference_params,
+                         const SearchParams& candidate_params) {
+    for (size_t q = 0; q < queries_.rows(); ++q) {
+      std::vector<Neighbor> want, got;
+      ASSERT_TRUE(
+          index_.Search(queries_.row(q), reference_params, &want).ok());
+      ASSERT_TRUE(
+          index_.Search(queries_.row(q), candidate_params, &got).ok());
+      ASSERT_EQ(want.size(), got.size());
+      for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(want[i].id, got[i].id) << "q=" << q << " i=" << i;
+        EXPECT_EQ(want[i].distance, got[i].distance) << "q=" << q;
+      }
+    }
+  }
+
+  FloatMatrix data_;
+  FloatMatrix queries_;
+  VaqIndex index_;
+};
+
+TEST_F(ScanSearchEquivalenceTest, AllKernelsMatchReferenceInAllModes) {
+  for (SearchMode mode : {SearchMode::kHeap, SearchMode::kEarlyAbandon,
+                          SearchMode::kTriangleInequality}) {
+    for (double visit : {0.25, 1.0}) {
+      SearchParams reference;
+      reference.k = 15;
+      reference.mode = mode;
+      reference.visit_fraction = visit;
+      reference.kernel = ScanKernelType::kReference;
+      for (ScanKernelType type :
+           {ScanKernelType::kScalar, ScanKernelType::kAvx2,
+            ScanKernelType::kAuto}) {
+        SearchParams candidate = reference;
+        candidate.kernel = type;
+        ExpectSameResults(reference, candidate);
+      }
+    }
+  }
+}
+
+TEST_F(ScanSearchEquivalenceTest, SubspacePrefixesMatchReference) {
+  for (size_t used : {size_t{1}, size_t{3}, size_t{5}}) {
+    for (SearchMode mode :
+         {SearchMode::kHeap, SearchMode::kEarlyAbandon,
+          SearchMode::kTriangleInequality /* falls back to EA */}) {
+      SearchParams reference;
+      reference.k = 10;
+      reference.mode = mode;
+      reference.num_subspaces_used = used;
+      reference.kernel = ScanKernelType::kReference;
+      SearchParams candidate = reference;
+      candidate.kernel = ScanKernelType::kAuto;
+      ExpectSameResults(reference, candidate);
+    }
+  }
+}
+
+TEST_F(ScanSearchEquivalenceTest, ScalarAndSimdReportIdenticalStats) {
+  if (!Avx2ScanAvailable()) GTEST_SKIP() << "no AVX2 kernel in this build";
+  for (SearchMode mode : {SearchMode::kHeap, SearchMode::kEarlyAbandon,
+                          SearchMode::kTriangleInequality}) {
+    SearchParams params;
+    params.k = 15;
+    params.mode = mode;
+    for (size_t q = 0; q < queries_.rows(); ++q) {
+      SearchStats scalar_stats, simd_stats;
+      std::vector<Neighbor> out;
+      params.kernel = ScanKernelType::kScalar;
+      ASSERT_TRUE(
+          index_.Search(queries_.row(q), params, &out, &scalar_stats).ok());
+      params.kernel = ScanKernelType::kAvx2;
+      ASSERT_TRUE(
+          index_.Search(queries_.row(q), params, &out, &simd_stats).ok());
+      EXPECT_EQ(scalar_stats.codes_visited, simd_stats.codes_visited);
+      EXPECT_EQ(scalar_stats.codes_skipped_ti, simd_stats.codes_skipped_ti);
+      EXPECT_EQ(scalar_stats.lut_adds, simd_stats.lut_adds);
+      EXPECT_EQ(scalar_stats.clusters_visited, simd_stats.clusters_visited);
+      EXPECT_EQ(scalar_stats.clusters_total, simd_stats.clusters_total);
+    }
+  }
+}
+
+TEST_F(ScanSearchEquivalenceTest, HeapModeCountsExactWork) {
+  SearchParams params;
+  params.k = 10;
+  params.mode = SearchMode::kHeap;
+  params.num_subspaces_used = 2;
+  SearchStats stats;
+  std::vector<Neighbor> out;
+  ASSERT_TRUE(index_.Search(queries_.row(0), params, &out, &stats).ok());
+  EXPECT_EQ(stats.codes_visited, index_.size());
+  EXPECT_EQ(stats.lut_adds, index_.size() * 2);
+}
+
+TEST_F(ScanSearchEquivalenceTest, SaveLoadRebuildsBlockedLayout) {
+  const std::string path = "/tmp/vaq_scan_test.bin";
+  ASSERT_TRUE(index_.Save(path).ok());
+  auto loaded = VaqIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  SearchParams params;
+  params.k = 10;
+  for (size_t q = 0; q < 4; ++q) {
+    std::vector<Neighbor> a, b;
+    ASSERT_TRUE(index_.Search(queries_.row(q), params, &a).ok());
+    ASSERT_TRUE(loaded->Search(queries_.row(q), params, &b).ok());
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_EQ(a[i].distance, b[i].distance);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ScanSearchEquivalenceTest, AddRebuildsBlockedLayout) {
+  const FloatMatrix extra = GenerateSpectrumMixture(
+      100, 32, PowerLawSpectrum(32, 1.2), 8, 1.0, 555);
+  ASSERT_TRUE(index_.Add(extra).ok());
+  SearchParams reference;
+  reference.k = 10;
+  reference.mode = SearchMode::kHeap;
+  reference.kernel = ScanKernelType::kReference;
+  SearchParams candidate = reference;
+  candidate.kernel = ScanKernelType::kAuto;
+  ExpectSameResults(reference, candidate);
+}
+
+// ---------------------------------------------------------------------------
+// IVF reuse of the scan kernels.
+// ---------------------------------------------------------------------------
+
+TEST(VaqIvfScanTest, BlockedKernelsMatchReferenceScan) {
+  const FloatMatrix data = GenerateSpectrumMixture(
+      900, 24, PowerLawSpectrum(24, 1.1), 6, 1.0, 31);
+  const FloatMatrix queries = GenerateSpectrumMixture(
+      8, 24, PowerLawSpectrum(24, 1.1), 6, 1.0, 131);
+  VaqIvfOptions opts;
+  opts.vaq.num_subspaces = 6;
+  opts.vaq.total_bits = 36;
+  opts.vaq.kmeans_iters = 8;
+  opts.coarse_k = 16;
+  opts.default_nprobe = 16;  // all lists: results must be exhaustive-exact
+  opts.scan_kernel = ScanKernelType::kReference;
+  auto reference = VaqIvfIndex::Train(data, opts);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  for (ScanKernelType type : {ScanKernelType::kScalar, ScanKernelType::kAuto}) {
+    opts.scan_kernel = type;
+    auto candidate = VaqIvfIndex::Train(data, opts);
+    ASSERT_TRUE(candidate.ok());
+    for (size_t q = 0; q < queries.rows(); ++q) {
+      std::vector<Neighbor> want, got;
+      ASSERT_TRUE(reference->Search(queries.row(q), 10, 0, &want).ok());
+      ASSERT_TRUE(candidate->Search(queries.row(q), 10, 0, &got).ok());
+      ASSERT_EQ(want.size(), got.size());
+      for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(want[i].id, got[i].id) << "q=" << q << " i=" << i;
+        EXPECT_EQ(want[i].distance, got[i].distance);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scratch reuse: the steady-state query path must not touch the heap.
+// ---------------------------------------------------------------------------
+
+TEST_F(ScanSearchEquivalenceTest, ScratchReuseMakesSearchAllocationFree) {
+  for (SearchMode mode : {SearchMode::kHeap, SearchMode::kEarlyAbandon,
+                          SearchMode::kTriangleInequality}) {
+    SearchParams params;
+    params.k = 20;
+    params.mode = mode;
+    SearchScratch scratch;
+    std::vector<Neighbor> out;
+    SearchStats stats;
+    // Warmup grows every scratch vector to its high-water size.
+    for (size_t q = 0; q < 4; ++q) {
+      ASSERT_TRUE(
+          index_.Search(queries_.row(q), params, &scratch, &out, &stats)
+              .ok());
+    }
+    const size_t before = AllocCount();
+    for (size_t rep = 0; rep < 3; ++rep) {
+      for (size_t q = 0; q < queries_.rows(); ++q) {
+        stats.Reset();
+        ASSERT_TRUE(
+            index_.Search(queries_.row(q), params, &scratch, &out, &stats)
+                .ok());
+      }
+    }
+    EXPECT_EQ(AllocCount() - before, 0u)
+        << "mode=" << static_cast<int>(mode)
+        << ": steady-state Search allocated";
+  }
+}
+
+TEST_F(ScanSearchEquivalenceTest, BatchIntoReusesResultBuffers) {
+  SearchParams params;
+  params.k = 20;
+  std::vector<std::vector<Neighbor>> results;
+  // First batch sizes the result vectors; second batch must reuse them.
+  ASSERT_TRUE(index_.SearchBatchInto(queries_, params, 1, &results).ok());
+  const size_t before = AllocCount();
+  ASSERT_TRUE(index_.SearchBatchInto(queries_, params, 1, &results).ok());
+  const size_t per_batch = AllocCount() - before;
+  // The only steady-state allocations are the one fresh SearchScratch per
+  // batch (a handful of vectors), independent of the query count.
+  EXPECT_LT(per_batch, 16u) << "per-batch allocations should not scale "
+                               "with the number of queries";
+}
+
+TEST(ScanDispatchTest, AutoResolvesToSupportedKernel) {
+  const ScanKernel& kernel = GetScanKernel(ScanKernelType::kAuto);
+  ASSERT_NE(kernel.accumulate, nullptr);
+  if (Avx2ScanAvailable() &&
+      std::getenv("VAQ_SCAN_KERNEL") == nullptr) {
+    EXPECT_STREQ(kernel.name, "avx2");
+    EXPECT_TRUE(CpuHasAvx2());
+  } else {
+    EXPECT_STREQ(kernel.name, "scalar");
+  }
+  // Requesting AVX2 must degrade gracefully rather than crash.
+  ASSERT_NE(GetScanKernel(ScanKernelType::kAvx2).accumulate, nullptr);
+  EXPECT_STREQ(GetScanKernel(ScanKernelType::kScalar).name, "scalar");
+}
+
+}  // namespace
+}  // namespace vaq
