@@ -1,8 +1,10 @@
 #ifndef VAQ_COMMON_IO_H_
 #define VAQ_COMMON_IO_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <string>
 #include <type_traits>
@@ -54,16 +56,58 @@ inline int64_t RemainingBytes(std::istream& is) {
   return static_cast<int64_t>(end - here);
 }
 
+/// Largest single allocation made on behalf of an element-count header when
+/// the stream is non-seekable (pipes, sockets) and RemainingBytes cannot
+/// bound it. Payloads claiming more grow chunk by chunk, so a corrupted
+/// header fails at the stream's real end instead of triggering a multi-GB
+/// resize up front.
+inline constexpr size_t kIoMaxEagerBytes = size_t{1} << 22;  // 4 MiB
+
+namespace io_internal {
+
+/// Reads `n` elements into `out` (a std::vector<T> or std::string),
+/// growing it in kIoMaxEagerBytes steps. `out` is cleared on failure.
+template <typename Container>
+Status ReadChunked(std::istream& is, uint64_t n, Container* out) {
+  using Elem = typename Container::value_type;
+  const size_t chunk_elems =
+      std::max<size_t>(1, kIoMaxEagerBytes / sizeof(Elem));
+  out->clear();
+  size_t got = 0;
+  while (got < n) {
+    const size_t take =
+        static_cast<size_t>(std::min<uint64_t>(n - got, chunk_elems));
+    out->resize(got + take);
+    is.read(reinterpret_cast<char*>(out->data() + got),
+            static_cast<std::streamsize>(take * sizeof(Elem)));
+    if (!is) {
+      out->clear();
+      return Status::IoError("size header exceeds stream payload "
+                             "(corrupted file?)");
+    }
+    got += take;
+  }
+  return Status::OK();
+}
+
+}  // namespace io_internal
+
 template <typename T>
 Status ReadVector(std::istream& is, std::vector<T>* v) {
   static_assert(std::is_trivially_copyable_v<T>);
   uint64_t n = 0;
   VAQ_RETURN_IF_ERROR(ReadPod(is, &n));
+  if (n > std::numeric_limits<uint64_t>::max() / sizeof(T)) {
+    return Status::IoError("vector size header overflows (corrupted file?)");
+  }
   const int64_t remaining = RemainingBytes(is);
-  if (remaining >= 0 &&
-      n > static_cast<uint64_t>(remaining) / sizeof(T)) {
-    return Status::IoError("vector size header exceeds remaining payload "
-                           "(corrupted file?)");
+  if (remaining >= 0) {
+    if (n > static_cast<uint64_t>(remaining) / sizeof(T)) {
+      return Status::IoError("vector size header exceeds remaining payload "
+                             "(corrupted file?)");
+    }
+  } else if (n * sizeof(T) > kIoMaxEagerBytes) {
+    return io_internal::ReadChunked(is, n, v);
   }
   v->resize(n);
   if (n > 0) {
@@ -89,12 +133,22 @@ Status ReadMatrix(std::istream& is, Matrix<T>* m) {
   uint64_t rows = 0, cols = 0;
   VAQ_RETURN_IF_ERROR(ReadPod(is, &rows));
   VAQ_RETURN_IF_ERROR(ReadPod(is, &cols));
+  if (cols != 0 &&
+      rows > std::numeric_limits<uint64_t>::max() / sizeof(T) / cols) {
+    return Status::IoError("matrix size header overflows (corrupted file?)");
+  }
+  const uint64_t elems = rows * cols;
   const int64_t remaining = RemainingBytes(is);
-  if (remaining >= 0 &&
-      (cols != 0 &&
-       rows > static_cast<uint64_t>(remaining) / sizeof(T) / cols)) {
-    return Status::IoError("matrix size header exceeds remaining payload "
-                           "(corrupted file?)");
+  if (remaining >= 0) {
+    if (elems > static_cast<uint64_t>(remaining) / sizeof(T)) {
+      return Status::IoError("matrix size header exceeds remaining payload "
+                             "(corrupted file?)");
+    }
+  } else if (elems * sizeof(T) > kIoMaxEagerBytes) {
+    std::vector<T> buf;
+    VAQ_RETURN_IF_ERROR(io_internal::ReadChunked(is, elems, &buf));
+    *m = Matrix<T>(rows, cols, std::move(buf));
+    return Status::OK();
   }
   m->Resize(rows, cols);
   if (m->size() > 0) {
@@ -114,9 +168,13 @@ inline Status ReadString(std::istream& is, std::string* s) {
   uint64_t n = 0;
   VAQ_RETURN_IF_ERROR(ReadPod(is, &n));
   const int64_t remaining = RemainingBytes(is);
-  if (remaining >= 0 && n > static_cast<uint64_t>(remaining)) {
-    return Status::IoError("string size header exceeds remaining payload "
-                           "(corrupted file?)");
+  if (remaining >= 0) {
+    if (n > static_cast<uint64_t>(remaining)) {
+      return Status::IoError("string size header exceeds remaining payload "
+                             "(corrupted file?)");
+    }
+  } else if (n > kIoMaxEagerBytes) {
+    return io_internal::ReadChunked(is, n, s);
   }
   s->resize(n);
   if (n > 0) {

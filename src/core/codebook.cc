@@ -257,22 +257,55 @@ Status VariableCodebooks::Load(std::istream& is) {
   VAQ_RETURN_IF_ERROR(ReadPod(is, &trained));
   uint64_t m = 0;
   VAQ_RETURN_IF_ERROR(ReadPod(is, &m));
+  // Each span costs 16 payload bytes; a seekable stream bounds the
+  // plausible count so a corrupted header cannot drive a huge resize.
+  const int64_t remaining = RemainingBytes(is);
+  if (remaining >= 0 && m > static_cast<uint64_t>(remaining) / 16) {
+    return Status::IoError("subspace count exceeds remaining payload "
+                           "(corrupted file?)");
+  }
+  // The SubspaceLayout constructor hard-aborts on malformed spans, so the
+  // contiguity invariant must be checked here, on untrusted bytes.
   std::vector<SubspaceSpan> spans(m);
+  uint64_t expect_offset = 0;
   for (auto& span : spans) {
     uint64_t offset = 0, length = 0;
     VAQ_RETURN_IF_ERROR(ReadPod(is, &offset));
     VAQ_RETURN_IF_ERROR(ReadPod(is, &length));
+    if (offset != expect_offset || length == 0) {
+      return Status::IoError("corrupted codebooks: subspace spans are not "
+                             "contiguous");
+    }
+    expect_offset = offset + length;
     span.offset = offset;
     span.length = length;
   }
-  layout_ = SubspaceLayout(std::move(spans));
   std::vector<int32_t> bits32;
   VAQ_RETURN_IF_ERROR(ReadVector(is, &bits32));
-  bits_.assign(bits32.begin(), bits32.end());
-  centroids_.resize(m);
-  for (auto& c : centroids_) {
-    VAQ_RETURN_IF_ERROR(ReadMatrix(is, &c));
+  if (bits32.size() != m) {
+    return Status::IoError("corrupted codebooks: bits count does not match "
+                           "subspace count");
   }
+  for (int32_t b : bits32) {
+    if (b < 1 || b > 16) {
+      return Status::IoError("corrupted codebooks: bits per subspace " +
+                             std::to_string(b) + " outside [1, 16]");
+    }
+  }
+  std::vector<FloatMatrix> centroids(m);
+  for (size_t s = 0; s < m; ++s) {
+    VAQ_RETURN_IF_ERROR(ReadMatrix(is, &centroids[s]));
+    if (centroids[s].rows() != size_t{1} << bits32[s] ||
+        centroids[s].cols() != spans[s].length) {
+      return Status::IoError("corrupted codebooks: dictionary " +
+                             std::to_string(s) +
+                             " shape disagrees with its bits/span");
+    }
+  }
+  // All bytes parsed and validated; commit the state.
+  layout_ = SubspaceLayout(std::move(spans));
+  bits_.assign(bits32.begin(), bits32.end());
+  centroids_ = std::move(centroids);
   lut_offsets_.resize(m);
   lut_entries_ = 0;
   for (size_t s = 0; s < m; ++s) {
@@ -280,6 +313,58 @@ Status VariableCodebooks::Load(std::istream& is) {
     lut_entries_ += size_t{1} << bits_[s];
   }
   trained_ = trained != 0;
+  return Status::OK();
+}
+
+Status VariableCodebooks::ValidateInvariants() const {
+  if (!trained_) {
+    return Status::FailedPrecondition("codebooks are not trained");
+  }
+  const size_t m = layout_.num_subspaces();
+  if (m == 0) return Status::Internal("codebooks have no subspaces");
+  if (bits_.size() != m || centroids_.size() != m ||
+      lut_offsets_.size() != m) {
+    return Status::Internal("codebook state sizes disagree");
+  }
+  size_t entries = 0;
+  for (size_t s = 0; s < m; ++s) {
+    if (bits_[s] < 1 || bits_[s] > 16) {
+      return Status::Internal("bits per subspace outside [1, 16]");
+    }
+    if (centroids_[s].rows() != size_t{1} << bits_[s] ||
+        centroids_[s].cols() != layout_.span(s).length) {
+      return Status::Internal("dictionary shape disagrees with bits/span");
+    }
+    if (lut_offsets_[s] != entries) {
+      return Status::Internal("lookup-table offsets are inconsistent");
+    }
+    entries += size_t{1} << bits_[s];
+    for (size_t i = 0; i < centroids_[s].size(); ++i) {
+      if (!std::isfinite(centroids_[s].data()[i])) {
+        return Status::Internal("dictionary contains non-finite values");
+      }
+    }
+  }
+  if (lut_entries_ != entries) {
+    return Status::Internal("lookup-table entry count is inconsistent");
+  }
+  return Status::OK();
+}
+
+Status VariableCodebooks::ValidateCodes(const CodeMatrix& codes) const {
+  const size_t m = num_subspaces();
+  if (codes.cols() != m) {
+    return Status::Internal("code width disagrees with subspace count");
+  }
+  for (size_t s = 0; s < m; ++s) {
+    const uint16_t limit = static_cast<uint16_t>((size_t{1} << bits_[s]) - 1);
+    for (size_t r = 0; r < codes.rows(); ++r) {
+      if (codes.at(r, s) > limit) {
+        return Status::Internal("stored code exceeds its dictionary size "
+                                "(subspace " + std::to_string(s) + ")");
+      }
+    }
+  }
   return Status::OK();
 }
 

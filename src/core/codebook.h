@@ -103,7 +103,21 @@ class VariableCodebooks {
   Result<double> ReconstructionError(const FloatMatrix& data) const;
 
   void Save(std::ostream& os) const;
+  /// Restores from a stream, validating structural consistency (span
+  /// contiguity, bits in [1, 16], dictionary shapes) before any state is
+  /// committed, so corrupted payloads fail with a Status instead of
+  /// aborting or indexing out of bounds.
   Status Load(std::istream& is);
+
+  /// Post-load semantic validation: trained, shapes mutually consistent,
+  /// every centroid value finite. Cheap relative to deserialization.
+  Status ValidateInvariants() const;
+
+  /// Checks an encoded database against these codebooks: one column per
+  /// subspace and every stored code `< 2^bits[s]`, i.e. addressing an
+  /// existing dictionary entry — the bound the ADC scan kernels index
+  /// lookup tables with.
+  Status ValidateCodes(const CodeMatrix& codes) const;
 
  private:
   bool trained_ = false;

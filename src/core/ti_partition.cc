@@ -137,16 +137,74 @@ Status TiPartition::Load(std::istream& is) {
   VAQ_RETURN_IF_ERROR(ReadPod(is, &built));
   uint64_t prefix = 0;
   VAQ_RETURN_IF_ERROR(ReadPod(is, &prefix));
-  prefix_subspaces_ = prefix;
   VAQ_RETURN_IF_ERROR(ReadMatrix(is, &centroids_));
   uint64_t num = 0;
   VAQ_RETURN_IF_ERROR(ReadPod(is, &num));
+  // Every cluster costs at least 16 payload bytes (two vector headers);
+  // bound the resize on seekable streams.
+  const int64_t remaining = RemainingBytes(is);
+  if (remaining >= 0 && num > static_cast<uint64_t>(remaining) / 16) {
+    return Status::IoError("TI cluster count exceeds remaining payload "
+                           "(corrupted file?)");
+  }
   clusters_.assign(num, Cluster{});
   for (auto& cluster : clusters_) {
     VAQ_RETURN_IF_ERROR(ReadVector(is, &cluster.ids));
     VAQ_RETURN_IF_ERROR(ReadVector(is, &cluster.distances));
+    if (cluster.ids.size() != cluster.distances.size()) {
+      return Status::IoError("corrupted TI partition: id/distance arrays "
+                             "disagree in length");
+    }
   }
+  prefix_subspaces_ = prefix;
   built_ = built != 0;
+  return Status::OK();
+}
+
+Status TiPartition::ValidateInvariants(size_t num_rows, size_t num_subspaces,
+                                       size_t expected_prefix_dims) const {
+  if (!built_) return Status::FailedPrecondition("TI partition is not built");
+  if (prefix_subspaces_ == 0 || prefix_subspaces_ > num_subspaces) {
+    return Status::Internal("TI prefix_subspaces outside [1, m]");
+  }
+  if (centroids_.cols() != expected_prefix_dims) {
+    return Status::Internal("TI centroid width disagrees with the layout's "
+                            "prefix dimensions");
+  }
+  if (centroids_.rows() != clusters_.size() || clusters_.empty()) {
+    return Status::Internal("TI centroid/cluster counts disagree");
+  }
+  for (size_t i = 0; i < centroids_.size(); ++i) {
+    if (!std::isfinite(centroids_.data()[i])) {
+      return Status::Internal("TI centroids contain non-finite values");
+    }
+  }
+  std::vector<bool> seen(num_rows, false);
+  size_t total = 0;
+  for (const Cluster& cluster : clusters_) {
+    if (cluster.ids.size() != cluster.distances.size()) {
+      return Status::Internal("TI id/distance arrays disagree in length");
+    }
+    float prev = 0.f;
+    for (size_t i = 0; i < cluster.ids.size(); ++i) {
+      const uint32_t id = cluster.ids[i];
+      if (id >= num_rows || seen[id]) {
+        return Status::Internal("TI clusters are not a partition of the "
+                                "database rows");
+      }
+      seen[id] = true;
+      const float d = cluster.distances[i];
+      if (!std::isfinite(d) || d < 0.f || d < prev) {
+        return Status::Internal("TI cached distances are not sorted "
+                                "non-negative finite values");
+      }
+      prev = d;
+    }
+    total += cluster.ids.size();
+  }
+  if (total != num_rows) {
+    return Status::Internal("TI clusters do not cover every database row");
+  }
   return Status::OK();
 }
 

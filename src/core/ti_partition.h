@@ -67,6 +67,14 @@ class TiPartition {
   void Save(std::ostream& os) const;
   Status Load(std::istream& is);
 
+  /// Post-load semantic validation against the index the partition serves:
+  /// prefix bounds, centroid width, sorted finite cached distances, and —
+  /// because TI is a *partition* — every row id in [0, num_rows) exactly
+  /// once across clusters. `expected_prefix_dims` is the width of the
+  /// layout's first prefix_subspaces() spans.
+  Status ValidateInvariants(size_t num_rows, size_t num_subspaces,
+                            size_t expected_prefix_dims) const;
+
  private:
   bool built_ = false;
   size_t prefix_subspaces_ = 0;

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/io.h"
+#include "common/serialize.h"
 #include "core/allocation.h"
 #include "core/balance.h"
 
@@ -535,11 +536,7 @@ Status VaqIndex::SearchBatchInto(
   return Status::OK();
 }
 
-Status VaqIndex::Save(const std::string& path) const {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) return Status::IoError("cannot open " + path + " for writing");
-  WriteMagic(os, kMagic);
-
+void VaqIndex::SaveOptionsSection(std::ostream& os) const {
   WritePod<uint64_t>(os, options_.num_subspaces);
   WritePod<uint64_t>(os, options_.total_bits);
   WritePod<uint64_t>(os, options_.min_bits);
@@ -553,81 +550,215 @@ Status VaqIndex::Save(const std::string& path) const {
   WritePod<uint64_t>(os, options_.ti_prefix_subspaces);
   WritePod<int32_t>(os, options_.kmeans_iters);
   WritePod<uint64_t>(os, options_.seed);
-
-  // PCA state.
-  WriteVector(os, std::vector<double>(pca_.eigenvalues()));
-  WriteVector(os, pca_.means());
-  WriteMatrix(os, pca_.components());
-
-  WriteVector(os, std::vector<uint64_t>(permutation_.begin(),
-                                        permutation_.end()));
-  WriteVector(os, subspace_variances_);
-  WritePod<uint64_t>(os, balance_swaps_);
-  books_.Save(os);
-  WriteMatrix(os, codes_);
-  ti_.Save(os);
-  if (!os) return Status::IoError("write failure on " + path);
-  return Status::OK();
 }
 
-Result<VaqIndex> VaqIndex::Load(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return Status::IoError("cannot open " + path);
-  VAQ_RETURN_IF_ERROR(CheckMagic(is, kMagic));
-
-  VaqIndex index;
+Status VaqIndex::LoadOptionsSection(std::istream& is) {
   uint64_t u64 = 0;
   uint8_t u8 = 0;
   int32_t i32 = 0;
   double f64 = 0.0;
   VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
-  index.options_.num_subspaces = u64;
+  options_.num_subspaces = u64;
   VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
-  index.options_.total_bits = u64;
+  options_.total_bits = u64;
   VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
-  index.options_.min_bits = u64;
+  options_.min_bits = u64;
   VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
-  index.options_.max_bits = u64;
+  options_.max_bits = u64;
   VAQ_RETURN_IF_ERROR(ReadPod(is, &f64));
-  index.options_.target_variance = f64;
+  options_.target_variance = f64;
   VAQ_RETURN_IF_ERROR(ReadPod(is, &u8));
-  index.options_.clustered_subspaces = u8;
+  options_.clustered_subspaces = u8;
   VAQ_RETURN_IF_ERROR(ReadPod(is, &u8));
-  index.options_.partial_balance = u8;
+  options_.partial_balance = u8;
   VAQ_RETURN_IF_ERROR(ReadPod(is, &u8));
-  index.options_.adaptive_allocation = u8;
+  options_.adaptive_allocation = u8;
   VAQ_RETURN_IF_ERROR(ReadPod(is, &u8));
-  index.options_.center_pca = u8;
+  options_.center_pca = u8;
   VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
-  index.options_.ti_clusters = u64;
+  options_.ti_clusters = u64;
   VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
-  index.options_.ti_prefix_subspaces = u64;
+  options_.ti_prefix_subspaces = u64;
   VAQ_RETURN_IF_ERROR(ReadPod(is, &i32));
-  index.options_.kmeans_iters = i32;
+  options_.kmeans_iters = i32;
   VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
-  index.options_.seed = u64;
+  options_.seed = u64;
+  return Status::OK();
+}
 
+void VaqIndex::SavePcaSection(std::ostream& os) const {
+  WriteVector(os, std::vector<double>(pca_.eigenvalues()));
+  WriteVector(os, pca_.means());
+  WriteMatrix(os, pca_.components());
+}
+
+Status VaqIndex::LoadPcaSection(std::istream& is) {
   std::vector<double> eigenvalues;
   std::vector<float> means;
   FloatMatrix components;
   VAQ_RETURN_IF_ERROR(ReadVector(is, &eigenvalues));
   VAQ_RETURN_IF_ERROR(ReadVector(is, &means));
   VAQ_RETURN_IF_ERROR(ReadMatrix(is, &components));
-  VAQ_RETURN_IF_ERROR(
-      index.pca_.Restore(std::move(eigenvalues), std::move(means),
-                         std::move(components)));
+  return pca_.Restore(std::move(eigenvalues), std::move(means),
+                      std::move(components));
+}
 
+void VaqIndex::SaveLayoutSection(std::ostream& os) const {
+  WriteVector(os, std::vector<uint64_t>(permutation_.begin(),
+                                        permutation_.end()));
+  WriteVector(os, subspace_variances_);
+  WritePod<uint64_t>(os, balance_swaps_);
+}
+
+Status VaqIndex::LoadLayoutSection(std::istream& is) {
   std::vector<uint64_t> perm64;
   VAQ_RETURN_IF_ERROR(ReadVector(is, &perm64));
-  index.permutation_.assign(perm64.begin(), perm64.end());
-  VAQ_RETURN_IF_ERROR(ReadVector(is, &index.subspace_variances_));
+  permutation_.assign(perm64.begin(), perm64.end());
+  VAQ_RETURN_IF_ERROR(ReadVector(is, &subspace_variances_));
+  uint64_t u64 = 0;
   VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
-  index.balance_swaps_ = u64;
+  balance_swaps_ = u64;
+  return Status::OK();
+}
+
+Status VaqIndex::ValidateInvariants() const {
+  const size_t d = pca_.dim();
+  const size_t m = layout_.num_subspaces();
+  const size_t n = codes_.rows();
+  if (!pca_.fitted() || d == 0) {
+    return Status::Internal("index has no fitted PCA state");
+  }
+  if (permutation_.size() != d || !IsPermutation(permutation_)) {
+    return Status::Internal("stored permutation is not a permutation of "
+                            "[0, dim)");
+  }
+  if (layout_.dim() != d) {
+    return Status::Internal("subspace layout width disagrees with PCA "
+                            "dimension");
+  }
+  if (m == 0 || m != options_.num_subspaces) {
+    return Status::Internal("subspace count disagrees with options");
+  }
+  VAQ_RETURN_IF_ERROR(books_.ValidateInvariants());
+  if (books_.layout().num_subspaces() != m || books_.dim() != d) {
+    return Status::Internal("codebook layout disagrees with index layout");
+  }
+  if (bits_.size() != m || books_.bits() != bits_) {
+    return Status::Internal("bit allocation disagrees with codebooks");
+  }
+  size_t bit_sum = 0;
+  for (int b : bits_) bit_sum += static_cast<size_t>(b);
+  if (bit_sum != options_.total_bits) {
+    return Status::Internal("per-subspace bits do not sum to the configured "
+                            "budget");
+  }
+  if (subspace_variances_.size() != m) {
+    return Status::Internal("subspace variance profile length disagrees "
+                            "with subspace count");
+  }
+  for (double v : subspace_variances_) {
+    if (!std::isfinite(v) || v < 0.0) {
+      return Status::Internal("subspace variances contain invalid values");
+    }
+  }
+  if (n == 0) return Status::Internal("index holds no encoded vectors");
+  VAQ_RETURN_IF_ERROR(books_.ValidateCodes(codes_));
+  const size_t p = ti_.prefix_subspaces();
+  if (p == 0 || p > m) {
+    return Status::Internal("TI prefix_subspaces outside [1, m]");
+  }
+  const SubspaceSpan& last = layout_.span(p - 1);
+  return ti_.ValidateInvariants(n, m, last.offset + last.length);
+}
+
+namespace {
+/// Container payload schema version for VaqIndex files. The legacy
+/// unversioned layout predating the container is "v0".
+constexpr uint32_t kVaqIndexFormatVersion = 1;
+constexpr uint32_t kSecOptions = SectionTag('O', 'P', 'T', 'S');
+constexpr uint32_t kSecPca = SectionTag('P', 'C', 'A', '0');
+constexpr uint32_t kSecLayout = SectionTag('L', 'A', 'Y', 'T');
+constexpr uint32_t kSecBooks = SectionTag('B', 'O', 'O', 'K');
+constexpr uint32_t kSecCodes = SectionTag('C', 'O', 'D', 'E');
+constexpr uint32_t kSecTi = SectionTag('T', 'I', 'P', 'T');
+}  // namespace
+
+Status VaqIndex::Save(const std::string& path) const {
+  // Refuse to persist a broken index: the file would checksum correctly
+  // but fail validation on load.
+  VAQ_RETURN_IF_ERROR(ValidateInvariants());
+  ContainerWriter writer(kMagic, kVaqIndexFormatVersion);
+  SaveOptionsSection(writer.AddSection(kSecOptions));
+  SavePcaSection(writer.AddSection(kSecPca));
+  SaveLayoutSection(writer.AddSection(kSecLayout));
+  books_.Save(writer.AddSection(kSecBooks));
+  WriteMatrix(writer.AddSection(kSecCodes), codes_);
+  ti_.Save(writer.AddSection(kSecTi));
+  return writer.Commit(path);
+}
+
+Result<VaqIndex> VaqIndex::Load(const std::string& path) {
+  VAQ_ASSIGN_OR_RETURN(const bool boxed, IsContainerFile(path));
+  if (!boxed) return LoadLegacy(path);
+  VAQ_ASSIGN_OR_RETURN(
+      ContainerReader reader,
+      ContainerReader::Open(path, kMagic, kVaqIndexFormatVersion));
+  VaqIndex index;
+  {
+    VAQ_ASSIGN_OR_RETURN(auto sec, reader.Section(kSecOptions));
+    ByteViewStream is(sec.data, sec.size);
+    VAQ_RETURN_IF_ERROR(index.LoadOptionsSection(is));
+  }
+  {
+    VAQ_ASSIGN_OR_RETURN(auto sec, reader.Section(kSecPca));
+    ByteViewStream is(sec.data, sec.size);
+    VAQ_RETURN_IF_ERROR(index.LoadPcaSection(is));
+  }
+  {
+    VAQ_ASSIGN_OR_RETURN(auto sec, reader.Section(kSecLayout));
+    ByteViewStream is(sec.data, sec.size);
+    VAQ_RETURN_IF_ERROR(index.LoadLayoutSection(is));
+  }
+  {
+    VAQ_ASSIGN_OR_RETURN(auto sec, reader.Section(kSecBooks));
+    ByteViewStream is(sec.data, sec.size);
+    VAQ_RETURN_IF_ERROR(index.books_.Load(is));
+    index.layout_ = index.books_.layout();
+    index.bits_ = index.books_.bits();
+  }
+  {
+    VAQ_ASSIGN_OR_RETURN(auto sec, reader.Section(kSecCodes));
+    ByteViewStream is(sec.data, sec.size);
+    VAQ_RETURN_IF_ERROR(ReadMatrix(is, &index.codes_));
+  }
+  {
+    VAQ_ASSIGN_OR_RETURN(auto sec, reader.Section(kSecTi));
+    ByteViewStream is(sec.data, sec.size);
+    VAQ_RETURN_IF_ERROR(index.ti_.Load(is));
+  }
+  // Semantic validation gates BuildScanStructures: the blocked layouts
+  // index codes_ through TI cluster ids, so inconsistent state must be
+  // rejected before any derived structure is built.
+  VAQ_RETURN_IF_ERROR(index.ValidateInvariants());
+  index.BuildScanStructures();
+  return index;
+}
+
+Result<VaqIndex> VaqIndex::LoadLegacy(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IoError("cannot open " + path);
+  VAQ_RETURN_IF_ERROR(CheckMagic(is, kMagic));
+
+  VaqIndex index;
+  VAQ_RETURN_IF_ERROR(index.LoadOptionsSection(is));
+  VAQ_RETURN_IF_ERROR(index.LoadPcaSection(is));
+  VAQ_RETURN_IF_ERROR(index.LoadLayoutSection(is));
   VAQ_RETURN_IF_ERROR(index.books_.Load(is));
   index.layout_ = index.books_.layout();
   index.bits_ = index.books_.bits();
   VAQ_RETURN_IF_ERROR(ReadMatrix(is, &index.codes_));
   VAQ_RETURN_IF_ERROR(index.ti_.Load(is));
+  VAQ_RETURN_IF_ERROR(index.ValidateInvariants());
   index.BuildScanStructures();
   return index;
 }

@@ -148,10 +148,32 @@ class VaqIndex {
   /// Projects a raw vector into the index's (permuted PCA) code space.
   void ProjectQuery(const float* query, std::vector<float>* projected) const;
 
+  /// Persists the index as a versioned, checksummed container (DESIGN.md
+  /// §8), staged to a temp file and renamed into place so a crash or full
+  /// disk mid-save never destroys an existing index.
   Status Save(const std::string& path) const;
+  /// Restores an index saved by Save (container format) or by the legacy
+  /// unversioned v0 layout. Checksums (container files) and
+  /// ValidateInvariants() both gate success: a file that decodes but is
+  /// semantically inconsistent is rejected with a non-OK Status.
   static Result<VaqIndex> Load(const std::string& path);
 
+  /// Semantic consistency of the full index state: permutation_ is a true
+  /// permutation, bits are in range and sum to the budget, every stored
+  /// code addresses an existing dictionary entry, PCA/codebook/TI
+  /// dimensions mutually consistent, TI clusters partition the database.
+  /// Run automatically after Load and before Save.
+  Status ValidateInvariants() const;
+
  private:
+  /// Legacy (pre-container) loader for files written before versioning.
+  static Result<VaqIndex> LoadLegacy(const std::string& path);
+  void SaveOptionsSection(std::ostream& os) const;
+  Status LoadOptionsSection(std::istream& is);
+  void SavePcaSection(std::ostream& os) const;
+  Status LoadPcaSection(std::istream& is);
+  void SaveLayoutSection(std::ostream& os) const;
+  Status LoadLayoutSection(std::istream& is);
   void SearchProjected(const float* projected, const SearchParams& params,
                        SearchScratch* scratch, TopKHeap* heap,
                        SearchStats* stats) const;

@@ -8,6 +8,7 @@
 
 #include "common/io.h"
 #include "common/macros.h"
+#include "common/serialize.h"
 #include "core/allocation.h"
 #include "core/balance.h"
 
@@ -108,54 +109,198 @@ void VaqIvfIndex::BuildScanStructures() {
 
 namespace {
 constexpr char kIvfMagic[8] = {'V', 'A', 'Q', 'I', 'V', 'F', '0', '1'};
+constexpr uint32_t kIvfFormatVersion = 1;
+constexpr uint32_t kSecOptions = SectionTag('O', 'P', 'T', 'S');
+constexpr uint32_t kSecPca = SectionTag('P', 'C', 'A', '0');
+constexpr uint32_t kSecBooks = SectionTag('B', 'O', 'O', 'K');
+constexpr uint32_t kSecCodes = SectionTag('C', 'O', 'D', 'E');
+constexpr uint32_t kSecCoarse = SectionTag('C', 'R', 'S', 'E');
+constexpr uint32_t kSecLists = SectionTag('L', 'I', 'S', 'T');
 }  // namespace
 
-Status VaqIvfIndex::Save(const std::string& path) const {
-  if (!books_.trained()) {
-    return Status::FailedPrecondition("index is not trained");
-  }
-  std::ofstream os(path, std::ios::binary);
-  if (!os) return Status::IoError("cannot open " + path + " for writing");
-  WriteMagic(os, kIvfMagic);
+void VaqIvfIndex::SaveOptionsSection(std::ostream& os) const {
   WritePod<uint64_t>(os, options_.coarse_k);
   WritePod<uint64_t>(os, options_.default_nprobe);
+}
+
+Status VaqIvfIndex::LoadOptionsSection(std::istream& is) {
+  uint64_t u64 = 0;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
+  options_.coarse_k = u64;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
+  options_.default_nprobe = u64;
+  return Status::OK();
+}
+
+void VaqIvfIndex::SavePcaSection(std::ostream& os) const {
   WriteVector(os, std::vector<double>(pca_.eigenvalues()));
   WriteVector(os, pca_.means());
   WriteMatrix(os, pca_.components());
   WriteVector(os, std::vector<uint64_t>(permutation_.begin(),
                                         permutation_.end()));
-  books_.Save(os);
-  WriteMatrix(os, codes_);
-  WriteMatrix(os, coarse_.centroids());
-  WritePod<uint64_t>(os, lists_.size());
-  for (const auto& list : lists_) WriteVector(os, list);
-  if (!os) return Status::IoError("write failure on " + path);
-  return Status::OK();
 }
 
-Result<VaqIvfIndex> VaqIvfIndex::Load(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return Status::IoError("cannot open " + path);
-  VAQ_RETURN_IF_ERROR(CheckMagic(is, kIvfMagic));
-  VaqIvfIndex index;
-  uint64_t u64 = 0;
-  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
-  index.options_.coarse_k = u64;
-  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
-  index.options_.default_nprobe = u64;
-
+Status VaqIvfIndex::LoadPcaSection(std::istream& is) {
   std::vector<double> eigenvalues;
   std::vector<float> means;
   FloatMatrix components;
   VAQ_RETURN_IF_ERROR(ReadVector(is, &eigenvalues));
   VAQ_RETURN_IF_ERROR(ReadVector(is, &means));
   VAQ_RETURN_IF_ERROR(ReadMatrix(is, &components));
-  VAQ_RETURN_IF_ERROR(index.pca_.Restore(std::move(eigenvalues),
-                                         std::move(means),
-                                         std::move(components)));
+  VAQ_RETURN_IF_ERROR(pca_.Restore(std::move(eigenvalues), std::move(means),
+                                   std::move(components)));
   std::vector<uint64_t> perm64;
   VAQ_RETURN_IF_ERROR(ReadVector(is, &perm64));
-  index.permutation_.assign(perm64.begin(), perm64.end());
+  permutation_.assign(perm64.begin(), perm64.end());
+  return Status::OK();
+}
+
+void VaqIvfIndex::SaveListsSection(std::ostream& os) const {
+  WritePod<uint64_t>(os, lists_.size());
+  for (const auto& list : lists_) WriteVector(os, list);
+}
+
+Status VaqIvfIndex::LoadListsSection(std::istream& is) {
+  uint64_t num = 0;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &num));
+  // Every list costs at least an 8-byte length header; bound the resize
+  // on seekable streams so a corrupted count cannot drive a huge
+  // allocation.
+  const int64_t remaining = RemainingBytes(is);
+  if (remaining >= 0 && num > static_cast<uint64_t>(remaining) / 8) {
+    return Status::IoError("inverted list count exceeds remaining payload "
+                           "(corrupted file?)");
+  }
+  lists_.assign(num, {});
+  for (auto& list : lists_) {
+    VAQ_RETURN_IF_ERROR(ReadVector(is, &list));
+  }
+  return Status::OK();
+}
+
+Status VaqIvfIndex::ValidateInvariants() const {
+  const size_t d = pca_.dim();
+  const size_t n = codes_.rows();
+  if (!pca_.fitted() || d == 0) {
+    return Status::Internal("index has no fitted PCA state");
+  }
+  if (permutation_.size() != d || !IsPermutation(permutation_)) {
+    return Status::Internal("stored permutation is not a permutation of "
+                            "[0, dim)");
+  }
+  VAQ_RETURN_IF_ERROR(books_.ValidateInvariants());
+  if (books_.dim() != d) {
+    return Status::Internal("codebook width disagrees with PCA dimension");
+  }
+  if (bits_.size() != books_.num_subspaces() || books_.bits() != bits_) {
+    return Status::Internal("bit allocation disagrees with codebooks");
+  }
+  if (n == 0) return Status::Internal("index holds no encoded vectors");
+  VAQ_RETURN_IF_ERROR(books_.ValidateCodes(codes_));
+  if (coarse_.k() == 0 || coarse_.centroids().cols() != d) {
+    return Status::Internal("coarse centroid shape disagrees with the "
+                            "projected dimension");
+  }
+  for (size_t i = 0; i < coarse_.centroids().size(); ++i) {
+    if (!std::isfinite(coarse_.centroids().data()[i])) {
+      return Status::Internal("coarse centroids contain non-finite values");
+    }
+  }
+  if (lists_.size() != coarse_.k()) {
+    return Status::Internal("inverted list count disagrees with the coarse "
+                            "partition size");
+  }
+  // The lists must partition the database: every row id exactly once.
+  std::vector<bool> seen(n, false);
+  size_t total = 0;
+  for (const auto& list : lists_) {
+    for (uint32_t id : list) {
+      if (id >= n || seen[id]) {
+        return Status::Internal("inverted lists are not a partition of the "
+                                "database rows");
+      }
+      seen[id] = true;
+    }
+    total += list.size();
+  }
+  if (total != n) {
+    return Status::Internal("inverted lists do not cover every database "
+                            "row");
+  }
+  return Status::OK();
+}
+
+Status VaqIvfIndex::Save(const std::string& path) const {
+  if (!books_.trained()) {
+    return Status::FailedPrecondition("index is not trained");
+  }
+  VAQ_RETURN_IF_ERROR(ValidateInvariants());
+  ContainerWriter writer(kIvfMagic, kIvfFormatVersion);
+  SaveOptionsSection(writer.AddSection(kSecOptions));
+  SavePcaSection(writer.AddSection(kSecPca));
+  books_.Save(writer.AddSection(kSecBooks));
+  WriteMatrix(writer.AddSection(kSecCodes), codes_);
+  WriteMatrix(writer.AddSection(kSecCoarse), coarse_.centroids());
+  SaveListsSection(writer.AddSection(kSecLists));
+  return writer.Commit(path);
+}
+
+Result<VaqIvfIndex> VaqIvfIndex::Load(const std::string& path) {
+  VAQ_ASSIGN_OR_RETURN(const bool boxed, IsContainerFile(path));
+  if (!boxed) return LoadLegacy(path);
+  VAQ_ASSIGN_OR_RETURN(
+      ContainerReader reader,
+      ContainerReader::Open(path, kIvfMagic, kIvfFormatVersion));
+  VaqIvfIndex index;
+  {
+    VAQ_ASSIGN_OR_RETURN(auto sec, reader.Section(kSecOptions));
+    ByteViewStream is(sec.data, sec.size);
+    VAQ_RETURN_IF_ERROR(index.LoadOptionsSection(is));
+  }
+  {
+    VAQ_ASSIGN_OR_RETURN(auto sec, reader.Section(kSecPca));
+    ByteViewStream is(sec.data, sec.size);
+    VAQ_RETURN_IF_ERROR(index.LoadPcaSection(is));
+  }
+  {
+    VAQ_ASSIGN_OR_RETURN(auto sec, reader.Section(kSecBooks));
+    ByteViewStream is(sec.data, sec.size);
+    VAQ_RETURN_IF_ERROR(index.books_.Load(is));
+    index.layout_ = index.books_.layout();
+    index.bits_ = index.books_.bits();
+  }
+  {
+    VAQ_ASSIGN_OR_RETURN(auto sec, reader.Section(kSecCodes));
+    ByteViewStream is(sec.data, sec.size);
+    VAQ_RETURN_IF_ERROR(ReadMatrix(is, &index.codes_));
+  }
+  {
+    VAQ_ASSIGN_OR_RETURN(auto sec, reader.Section(kSecCoarse));
+    ByteViewStream is(sec.data, sec.size);
+    FloatMatrix coarse_centroids;
+    VAQ_RETURN_IF_ERROR(ReadMatrix(is, &coarse_centroids));
+    VAQ_RETURN_IF_ERROR(index.coarse_.Restore(std::move(coarse_centroids)));
+  }
+  {
+    VAQ_ASSIGN_OR_RETURN(auto sec, reader.Section(kSecLists));
+    ByteViewStream is(sec.data, sec.size);
+    VAQ_RETURN_IF_ERROR(index.LoadListsSection(is));
+  }
+  // Validation gates BuildScanStructures: the blocked layouts gather
+  // codes_ rows through the list ids, so they must be proven in range
+  // first.
+  VAQ_RETURN_IF_ERROR(index.ValidateInvariants());
+  index.BuildScanStructures();
+  return index;
+}
+
+Result<VaqIvfIndex> VaqIvfIndex::LoadLegacy(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IoError("cannot open " + path);
+  VAQ_RETURN_IF_ERROR(CheckMagic(is, kIvfMagic));
+  VaqIvfIndex index;
+  VAQ_RETURN_IF_ERROR(index.LoadOptionsSection(is));
+  VAQ_RETURN_IF_ERROR(index.LoadPcaSection(is));
   VAQ_RETURN_IF_ERROR(index.books_.Load(is));
   index.layout_ = index.books_.layout();
   index.bits_ = index.books_.bits();
@@ -163,11 +308,8 @@ Result<VaqIvfIndex> VaqIvfIndex::Load(const std::string& path) {
   FloatMatrix coarse_centroids;
   VAQ_RETURN_IF_ERROR(ReadMatrix(is, &coarse_centroids));
   VAQ_RETURN_IF_ERROR(index.coarse_.Restore(std::move(coarse_centroids)));
-  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
-  index.lists_.resize(u64);
-  for (auto& list : index.lists_) {
-    VAQ_RETURN_IF_ERROR(ReadVector(is, &list));
-  }
+  VAQ_RETURN_IF_ERROR(index.LoadListsSection(is));
+  VAQ_RETURN_IF_ERROR(index.ValidateInvariants());
   index.BuildScanStructures();
   return index;
 }

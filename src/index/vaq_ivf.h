@@ -53,10 +53,26 @@ class VaqIvfIndex {
                 SearchScratch* scratch, std::vector<Neighbor>* out,
                 SearchStats* stats = nullptr) const;
 
+  /// Persists the index as a versioned, checksummed container, staged to
+  /// a temp file and renamed into place (crash-safe; see DESIGN.md §8).
   Status Save(const std::string& path) const;
+  /// Restores a container or legacy-format index; both paths run
+  /// ValidateInvariants() before any scan structure is built.
   static Result<VaqIvfIndex> Load(const std::string& path);
 
+  /// Semantic consistency: permutation, codebook/code agreement, coarse
+  /// centroid shape, and the inverted lists covering every row exactly
+  /// once.
+  Status ValidateInvariants() const;
+
  private:
+  static Result<VaqIvfIndex> LoadLegacy(const std::string& path);
+  void SaveOptionsSection(std::ostream& os) const;
+  Status LoadOptionsSection(std::istream& is);
+  void SavePcaSection(std::ostream& os) const;
+  Status LoadPcaSection(std::istream& is);
+  void SaveListsSection(std::ostream& os) const;
+  Status LoadListsSection(std::istream& is);
   /// (Re)builds the per-list blocked code layouts after Train/Load.
   void BuildScanStructures();
 

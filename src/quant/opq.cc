@@ -8,6 +8,7 @@
 
 #include "common/io.h"
 #include "common/macros.h"
+#include "common/serialize.h"
 #include "linalg/covariance.h"
 #include "linalg/pca.h"
 #include "linalg/svd.h"
@@ -169,63 +170,185 @@ Status OptimizedProductQuantizer::Search(const float* query, size_t k,
 
 namespace {
 constexpr char kOpqMagic[8] = {'V', 'A', 'Q', 'O', 'P', 'Q', '0', '1'};
+constexpr uint32_t kOpqFormatVersion = 1;
+constexpr uint32_t kSecOptions = SectionTag('O', 'P', 'T', 'S');
+constexpr uint32_t kSecRotation = SectionTag('R', 'O', 'T', '8');
+constexpr uint32_t kSecBooks = SectionTag('B', 'O', 'O', 'K');
+constexpr uint32_t kSecCodes = SectionTag('C', 'O', 'D', 'E');
+constexpr uint32_t kSecStats = SectionTag('S', 'T', 'A', 'T');
 }  // namespace
 
-Status OptimizedProductQuantizer::Save(const std::string& path) const {
-  if (!books_.trained()) {
-    return Status::FailedPrecondition("OPQ is not trained");
-  }
-  std::ofstream os(path, std::ios::binary);
-  if (!os) return Status::IoError("cannot open " + path + " for writing");
-  WriteMagic(os, kOpqMagic);
+void OptimizedProductQuantizer::SaveOptionsSection(std::ostream& os) const {
   WritePod<uint64_t>(os, options_.num_subspaces);
   WritePod<uint64_t>(os, options_.bits_per_subspace);
   WritePod<int32_t>(os, options_.refine_iters);
   WritePod<int32_t>(os, options_.kmeans_iters);
   WritePod<uint64_t>(os, options_.seed);
   WritePod<uint8_t>(os, options_.center ? 1 : 0);
+}
+
+Status OptimizedProductQuantizer::LoadOptionsSection(std::istream& is) {
+  uint64_t u64 = 0;
+  int32_t i32 = 0;
+  uint8_t u8 = 0;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
+  options_.num_subspaces = u64;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
+  options_.bits_per_subspace = u64;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &i32));
+  options_.refine_iters = i32;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &i32));
+  options_.kmeans_iters = i32;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
+  options_.seed = u64;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &u8));
+  options_.center = u8 != 0;
+  return Status::OK();
+}
+
+void OptimizedProductQuantizer::SaveRotationSection(std::ostream& os) const {
   WriteVector(os, means_);
   WriteMatrix(os, rotation_);
-  books_.Save(os);
-  WriteMatrix(os, codes_);
+}
+
+Status OptimizedProductQuantizer::LoadRotationSection(std::istream& is) {
+  VAQ_RETURN_IF_ERROR(ReadVector(is, &means_));
+  VAQ_RETURN_IF_ERROR(ReadMatrix(is, &rotation_));
+  return Status::OK();
+}
+
+void OptimizedProductQuantizer::SaveStatsSection(std::ostream& os) const {
   WriteVector(os, subspace_variances_);
   WriteVector(os, std::vector<uint64_t>(subspace_order_.begin(),
                                         subspace_order_.end()));
   WritePod<double>(os, train_error_);
-  if (!os) return Status::IoError("write failure on " + path);
+}
+
+Status OptimizedProductQuantizer::LoadStatsSection(std::istream& is) {
+  VAQ_RETURN_IF_ERROR(ReadVector(is, &subspace_variances_));
+  std::vector<uint64_t> order64;
+  VAQ_RETURN_IF_ERROR(ReadVector(is, &order64));
+  subspace_order_.assign(order64.begin(), order64.end());
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &train_error_));
   return Status::OK();
 }
 
+Status OptimizedProductQuantizer::ValidateInvariants() const {
+  VAQ_RETURN_IF_ERROR(books_.ValidateInvariants());
+  const size_t m = books_.num_subspaces();
+  const size_t d = books_.dim();
+  if (m != options_.num_subspaces) {
+    return Status::Internal("codebook subspace count disagrees with "
+                            "options");
+  }
+  for (int b : books_.bits()) {
+    if (static_cast<size_t>(b) != options_.bits_per_subspace) {
+      return Status::Internal("codebook bits disagree with the uniform "
+                              "bits_per_subspace option");
+    }
+  }
+  if (rotation_.rows() != d || rotation_.cols() != d) {
+    return Status::Internal("rotation matrix is not square in the codebook "
+                            "dimension");
+  }
+  if (means_.size() != d) {
+    return Status::Internal("centering means length disagrees with the "
+                            "rotation dimension");
+  }
+  for (size_t i = 0; i < rotation_.size(); ++i) {
+    if (!std::isfinite(rotation_.data()[i])) {
+      return Status::Internal("rotation matrix contains non-finite values");
+    }
+  }
+  for (float v : means_) {
+    if (!std::isfinite(v)) {
+      return Status::Internal("centering means contain non-finite values");
+    }
+  }
+  VAQ_RETURN_IF_ERROR(books_.ValidateCodes(codes_));
+  if (subspace_variances_.size() != m) {
+    return Status::Internal("subspace variance profile length disagrees "
+                            "with subspace count");
+  }
+  for (double v : subspace_variances_) {
+    if (!std::isfinite(v) || v < 0.0) {
+      return Status::Internal("subspace variances contain invalid values");
+    }
+  }
+  if (subspace_order_.size() != m || !IsPermutation(subspace_order_)) {
+    return Status::Internal("subspace ranking is not a permutation of "
+                            "[0, m)");
+  }
+  if (!std::isfinite(train_error_) || train_error_ < 0.0) {
+    return Status::Internal("training error is not a non-negative finite "
+                            "value");
+  }
+  return Status::OK();
+}
+
+Status OptimizedProductQuantizer::Save(const std::string& path) const {
+  if (!books_.trained()) {
+    return Status::FailedPrecondition("OPQ is not trained");
+  }
+  VAQ_RETURN_IF_ERROR(ValidateInvariants());
+  ContainerWriter writer(kOpqMagic, kOpqFormatVersion);
+  SaveOptionsSection(writer.AddSection(kSecOptions));
+  SaveRotationSection(writer.AddSection(kSecRotation));
+  books_.Save(writer.AddSection(kSecBooks));
+  WriteMatrix(writer.AddSection(kSecCodes), codes_);
+  SaveStatsSection(writer.AddSection(kSecStats));
+  return writer.Commit(path);
+}
+
 Result<OptimizedProductQuantizer> OptimizedProductQuantizer::Load(
+    const std::string& path) {
+  VAQ_ASSIGN_OR_RETURN(const bool boxed, IsContainerFile(path));
+  if (!boxed) return LoadLegacy(path);
+  VAQ_ASSIGN_OR_RETURN(
+      ContainerReader reader,
+      ContainerReader::Open(path, kOpqMagic, kOpqFormatVersion));
+  OptimizedProductQuantizer opq;
+  {
+    VAQ_ASSIGN_OR_RETURN(auto sec, reader.Section(kSecOptions));
+    ByteViewStream is(sec.data, sec.size);
+    VAQ_RETURN_IF_ERROR(opq.LoadOptionsSection(is));
+  }
+  {
+    VAQ_ASSIGN_OR_RETURN(auto sec, reader.Section(kSecRotation));
+    ByteViewStream is(sec.data, sec.size);
+    VAQ_RETURN_IF_ERROR(opq.LoadRotationSection(is));
+  }
+  {
+    VAQ_ASSIGN_OR_RETURN(auto sec, reader.Section(kSecBooks));
+    ByteViewStream is(sec.data, sec.size);
+    VAQ_RETURN_IF_ERROR(opq.books_.Load(is));
+  }
+  {
+    VAQ_ASSIGN_OR_RETURN(auto sec, reader.Section(kSecCodes));
+    ByteViewStream is(sec.data, sec.size);
+    VAQ_RETURN_IF_ERROR(ReadMatrix(is, &opq.codes_));
+  }
+  {
+    VAQ_ASSIGN_OR_RETURN(auto sec, reader.Section(kSecStats));
+    ByteViewStream is(sec.data, sec.size);
+    VAQ_RETURN_IF_ERROR(opq.LoadStatsSection(is));
+  }
+  VAQ_RETURN_IF_ERROR(opq.ValidateInvariants());
+  return opq;
+}
+
+Result<OptimizedProductQuantizer> OptimizedProductQuantizer::LoadLegacy(
     const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) return Status::IoError("cannot open " + path);
   VAQ_RETURN_IF_ERROR(CheckMagic(is, kOpqMagic));
   OptimizedProductQuantizer opq;
-  uint64_t u64 = 0;
-  int32_t i32 = 0;
-  uint8_t u8 = 0;
-  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
-  opq.options_.num_subspaces = u64;
-  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
-  opq.options_.bits_per_subspace = u64;
-  VAQ_RETURN_IF_ERROR(ReadPod(is, &i32));
-  opq.options_.refine_iters = i32;
-  VAQ_RETURN_IF_ERROR(ReadPod(is, &i32));
-  opq.options_.kmeans_iters = i32;
-  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
-  opq.options_.seed = u64;
-  VAQ_RETURN_IF_ERROR(ReadPod(is, &u8));
-  opq.options_.center = u8 != 0;
-  VAQ_RETURN_IF_ERROR(ReadVector(is, &opq.means_));
-  VAQ_RETURN_IF_ERROR(ReadMatrix(is, &opq.rotation_));
+  VAQ_RETURN_IF_ERROR(opq.LoadOptionsSection(is));
+  VAQ_RETURN_IF_ERROR(opq.LoadRotationSection(is));
   VAQ_RETURN_IF_ERROR(opq.books_.Load(is));
   VAQ_RETURN_IF_ERROR(ReadMatrix(is, &opq.codes_));
-  VAQ_RETURN_IF_ERROR(ReadVector(is, &opq.subspace_variances_));
-  std::vector<uint64_t> order64;
-  VAQ_RETURN_IF_ERROR(ReadVector(is, &order64));
-  opq.subspace_order_.assign(order64.begin(), order64.end());
-  VAQ_RETURN_IF_ERROR(ReadPod(is, &opq.train_error_));
+  VAQ_RETURN_IF_ERROR(opq.LoadStatsSection(is));
+  VAQ_RETURN_IF_ERROR(opq.ValidateInvariants());
   return opq;
 }
 

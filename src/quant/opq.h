@@ -64,11 +64,25 @@ class OptimizedProductQuantizer : public Quantizer {
   double train_error() const { return train_error_; }
 
   /// Persists/restores the learned rotation, dictionaries, and codes.
+  /// Save writes the checksummed container format atomically; Load also
+  /// accepts the legacy unversioned layout and runs ValidateInvariants().
   Status Save(const std::string& path) const;
   static Result<OptimizedProductQuantizer> Load(const std::string& path);
 
+  /// Semantic consistency: rotation square and finite, codebook shapes,
+  /// every stored code in range, subspace ranking a true permutation.
+  Status ValidateInvariants() const;
+
  private:
   void RotateRow(const float* x, float* out) const;
+  static Result<OptimizedProductQuantizer> LoadLegacy(
+      const std::string& path);
+  void SaveOptionsSection(std::ostream& os) const;
+  Status LoadOptionsSection(std::istream& is);
+  void SaveRotationSection(std::ostream& os) const;
+  Status LoadRotationSection(std::istream& is);
+  void SaveStatsSection(std::ostream& os) const;
+  Status LoadStatsSection(std::istream& is);
 
   OpqOptions options_;
   std::vector<float> means_;

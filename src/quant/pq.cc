@@ -8,6 +8,7 @@
 
 #include "common/io.h"
 #include "common/macros.h"
+#include "common/serialize.h"
 #include "linalg/covariance.h"
 
 namespace vaq {
@@ -81,51 +82,139 @@ Status ProductQuantizer::SearchSdc(const float* query, size_t k,
 
 namespace {
 constexpr char kPqMagic[8] = {'V', 'A', 'Q', 'P', 'Q', '0', '0', '1'};
+constexpr uint32_t kPqFormatVersion = 1;
+constexpr uint32_t kSecOptions = SectionTag('O', 'P', 'T', 'S');
+constexpr uint32_t kSecBooks = SectionTag('B', 'O', 'O', 'K');
+constexpr uint32_t kSecCodes = SectionTag('C', 'O', 'D', 'E');
+constexpr uint32_t kSecStats = SectionTag('S', 'T', 'A', 'T');
 }  // namespace
+
+void ProductQuantizer::SaveOptionsSection(std::ostream& os) const {
+  WritePod<uint64_t>(os, options_.num_subspaces);
+  WritePod<uint64_t>(os, options_.bits_per_subspace);
+  WritePod<int32_t>(os, options_.kmeans_iters);
+  WritePod<uint64_t>(os, options_.seed);
+}
+
+Status ProductQuantizer::LoadOptionsSection(std::istream& is) {
+  uint64_t u64 = 0;
+  int32_t i32 = 0;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
+  options_.num_subspaces = u64;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
+  options_.bits_per_subspace = u64;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &i32));
+  options_.kmeans_iters = i32;
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
+  options_.seed = u64;
+  return Status::OK();
+}
+
+void ProductQuantizer::SaveStatsSection(std::ostream& os) const {
+  WriteVector(os, subspace_variances_);
+  WriteVector(os, std::vector<uint64_t>(subspace_order_.begin(),
+                                        subspace_order_.end()));
+  WritePod<double>(os, train_error_);
+}
+
+Status ProductQuantizer::LoadStatsSection(std::istream& is) {
+  VAQ_RETURN_IF_ERROR(ReadVector(is, &subspace_variances_));
+  std::vector<uint64_t> order64;
+  VAQ_RETURN_IF_ERROR(ReadVector(is, &order64));
+  subspace_order_.assign(order64.begin(), order64.end());
+  VAQ_RETURN_IF_ERROR(ReadPod(is, &train_error_));
+  return Status::OK();
+}
+
+Status ProductQuantizer::ValidateInvariants() const {
+  VAQ_RETURN_IF_ERROR(books_.ValidateInvariants());
+  const size_t m = books_.num_subspaces();
+  if (m != options_.num_subspaces) {
+    return Status::Internal("codebook subspace count disagrees with "
+                            "options");
+  }
+  for (int b : books_.bits()) {
+    if (static_cast<size_t>(b) != options_.bits_per_subspace) {
+      return Status::Internal("codebook bits disagree with the uniform "
+                              "bits_per_subspace option");
+    }
+  }
+  VAQ_RETURN_IF_ERROR(books_.ValidateCodes(codes_));
+  if (subspace_variances_.size() != m) {
+    return Status::Internal("subspace variance profile length disagrees "
+                            "with subspace count");
+  }
+  for (double v : subspace_variances_) {
+    if (!std::isfinite(v) || v < 0.0) {
+      return Status::Internal("subspace variances contain invalid values");
+    }
+  }
+  if (subspace_order_.size() != m || !IsPermutation(subspace_order_)) {
+    return Status::Internal("subspace ranking is not a permutation of "
+                            "[0, m)");
+  }
+  if (!std::isfinite(train_error_) || train_error_ < 0.0) {
+    return Status::Internal("training error is not a non-negative finite "
+                            "value");
+  }
+  return Status::OK();
+}
 
 Status ProductQuantizer::Save(const std::string& path) const {
   if (!books_.trained()) {
     return Status::FailedPrecondition("PQ is not trained");
   }
-  std::ofstream os(path, std::ios::binary);
-  if (!os) return Status::IoError("cannot open " + path + " for writing");
-  WriteMagic(os, kPqMagic);
-  WritePod<uint64_t>(os, options_.num_subspaces);
-  WritePod<uint64_t>(os, options_.bits_per_subspace);
-  WritePod<int32_t>(os, options_.kmeans_iters);
-  WritePod<uint64_t>(os, options_.seed);
-  books_.Save(os);
-  WriteMatrix(os, codes_);
-  WriteVector(os, subspace_variances_);
-  WriteVector(os, std::vector<uint64_t>(subspace_order_.begin(),
-                                        subspace_order_.end()));
-  WritePod<double>(os, train_error_);
-  if (!os) return Status::IoError("write failure on " + path);
-  return Status::OK();
+  VAQ_RETURN_IF_ERROR(ValidateInvariants());
+  ContainerWriter writer(kPqMagic, kPqFormatVersion);
+  SaveOptionsSection(writer.AddSection(kSecOptions));
+  books_.Save(writer.AddSection(kSecBooks));
+  WriteMatrix(writer.AddSection(kSecCodes), codes_);
+  SaveStatsSection(writer.AddSection(kSecStats));
+  return writer.Commit(path);
 }
 
 Result<ProductQuantizer> ProductQuantizer::Load(const std::string& path) {
+  VAQ_ASSIGN_OR_RETURN(const bool boxed, IsContainerFile(path));
+  if (!boxed) return LoadLegacy(path);
+  VAQ_ASSIGN_OR_RETURN(
+      ContainerReader reader,
+      ContainerReader::Open(path, kPqMagic, kPqFormatVersion));
+  ProductQuantizer pq;
+  {
+    VAQ_ASSIGN_OR_RETURN(auto sec, reader.Section(kSecOptions));
+    ByteViewStream is(sec.data, sec.size);
+    VAQ_RETURN_IF_ERROR(pq.LoadOptionsSection(is));
+  }
+  {
+    VAQ_ASSIGN_OR_RETURN(auto sec, reader.Section(kSecBooks));
+    ByteViewStream is(sec.data, sec.size);
+    VAQ_RETURN_IF_ERROR(pq.books_.Load(is));
+  }
+  {
+    VAQ_ASSIGN_OR_RETURN(auto sec, reader.Section(kSecCodes));
+    ByteViewStream is(sec.data, sec.size);
+    VAQ_RETURN_IF_ERROR(ReadMatrix(is, &pq.codes_));
+  }
+  {
+    VAQ_ASSIGN_OR_RETURN(auto sec, reader.Section(kSecStats));
+    ByteViewStream is(sec.data, sec.size);
+    VAQ_RETURN_IF_ERROR(pq.LoadStatsSection(is));
+  }
+  VAQ_RETURN_IF_ERROR(pq.ValidateInvariants());
+  return pq;
+}
+
+Result<ProductQuantizer> ProductQuantizer::LoadLegacy(
+    const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) return Status::IoError("cannot open " + path);
   VAQ_RETURN_IF_ERROR(CheckMagic(is, kPqMagic));
   ProductQuantizer pq;
-  uint64_t u64 = 0;
-  int32_t i32 = 0;
-  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
-  pq.options_.num_subspaces = u64;
-  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
-  pq.options_.bits_per_subspace = u64;
-  VAQ_RETURN_IF_ERROR(ReadPod(is, &i32));
-  pq.options_.kmeans_iters = i32;
-  VAQ_RETURN_IF_ERROR(ReadPod(is, &u64));
-  pq.options_.seed = u64;
+  VAQ_RETURN_IF_ERROR(pq.LoadOptionsSection(is));
   VAQ_RETURN_IF_ERROR(pq.books_.Load(is));
   VAQ_RETURN_IF_ERROR(ReadMatrix(is, &pq.codes_));
-  VAQ_RETURN_IF_ERROR(ReadVector(is, &pq.subspace_variances_));
-  std::vector<uint64_t> order64;
-  VAQ_RETURN_IF_ERROR(ReadVector(is, &order64));
-  pq.subspace_order_.assign(order64.begin(), order64.end());
-  VAQ_RETURN_IF_ERROR(ReadPod(is, &pq.train_error_));
+  VAQ_RETURN_IF_ERROR(pq.LoadStatsSection(is));
+  VAQ_RETURN_IF_ERROR(pq.ValidateInvariants());
   return pq;
 }
 

@@ -70,11 +70,22 @@ class ProductQuantizer : public Quantizer {
   double train_error() const { return train_error_; }
 
   /// Persists/restores the trained dictionaries, codes, and subspace
-  /// ranking (SDC tables are rebuilt on demand, not stored).
+  /// ranking (SDC tables are rebuilt on demand, not stored). Save writes
+  /// the checksummed container format atomically; Load also accepts the
+  /// legacy unversioned layout and runs ValidateInvariants() either way.
   Status Save(const std::string& path) const;
   static Result<ProductQuantizer> Load(const std::string& path);
 
+  /// Semantic consistency of the quantizer state: codebook shapes, every
+  /// stored code in range, subspace ranking a true permutation.
+  Status ValidateInvariants() const;
+
  private:
+  static Result<ProductQuantizer> LoadLegacy(const std::string& path);
+  void SaveOptionsSection(std::ostream& os) const;
+  Status LoadOptionsSection(std::istream& is);
+  void SaveStatsSection(std::ostream& os) const;
+  Status LoadStatsSection(std::istream& is);
   PqOptions options_;
   VariableCodebooks books_;
   CodeMatrix codes_;

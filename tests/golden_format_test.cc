@@ -1,0 +1,203 @@
+// Golden-file compatibility tests for the persistence formats.
+//
+// tests/golden/ holds committed index files:
+//   *_v0.bin  — legacy unversioned layout, written by the pre-container
+//               code. Loading them proves the legacy path keeps working.
+//   *_v1.bin  — the versioned container. Loading them and re-saving
+//               bit-identically proves the current writer still produces
+//               exactly this format; any unintended layout change breaks
+//               these tests instead of silently orphaning users' files.
+//
+// All goldens encode the same dataset:
+//   GenerateSpectrumMixture(120, 16, PowerLawSpectrum(16, 1.0), 4, 1.0, 61)
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "core/vaq_index.h"
+#include "datasets/synthetic.h"
+#include "index/vaq_ivf.h"
+#include "quant/opq.h"
+#include "quant/pq.h"
+
+#ifndef VAQ_TEST_DATA_DIR
+#error "VAQ_TEST_DATA_DIR must point at the tests/ source directory"
+#endif
+
+namespace vaq {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(VAQ_TEST_DATA_DIR) + "/golden/" + name;
+}
+
+std::string ReadWhole(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << "missing golden file " << path;
+  return std::string((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+}
+
+FloatMatrix GoldenData() {
+  return GenerateSpectrumMixture(120, 16, PowerLawSpectrum(16, 1.0), 4, 1.0,
+                                 61);
+}
+
+TEST(GoldenFormatTest, LegacyV0VaqIndexStillLoads) {
+  auto boxed = IsContainerFile(GoldenPath("vaq_index_v0.bin"));
+  ASSERT_TRUE(boxed.ok());
+  EXPECT_FALSE(*boxed) << "v0 golden unexpectedly has the container magic";
+
+  auto index = VaqIndex::Load(GoldenPath("vaq_index_v0.bin"));
+  ASSERT_TRUE(index.ok()) << index.status().message();
+  EXPECT_EQ(index->size(), 120u);
+  EXPECT_EQ(index->dim(), 16u);
+  EXPECT_TRUE(index->ValidateInvariants().ok());
+
+  const FloatMatrix data = GoldenData();
+  SearchParams params;
+  params.k = 5;
+  std::vector<Neighbor> out;
+  ASSERT_TRUE(index->Search(data.row(3), params, &out).ok());
+  ASSERT_EQ(out.size(), 5u);
+}
+
+TEST(GoldenFormatTest, LegacyV0VaqIvfStillLoads) {
+  auto index = VaqIvfIndex::Load(GoldenPath("vaq_ivf_v0.bin"));
+  ASSERT_TRUE(index.ok()) << index.status().message();
+  EXPECT_EQ(index->size(), 120u);
+  EXPECT_EQ(index->coarse_k(), 8u);
+  EXPECT_TRUE(index->ValidateInvariants().ok());
+
+  const FloatMatrix data = GoldenData();
+  std::vector<Neighbor> out;
+  ASSERT_TRUE(index->Search(data.row(3), 5, 0, &out).ok());
+  ASSERT_EQ(out.size(), 5u);
+}
+
+TEST(GoldenFormatTest, LegacyV0PqStillLoads) {
+  auto pq = ProductQuantizer::Load(GoldenPath("pq_v0.bin"));
+  ASSERT_TRUE(pq.ok()) << pq.status().message();
+  EXPECT_EQ(pq->size(), 120u);
+  EXPECT_TRUE(pq->ValidateInvariants().ok());
+
+  const FloatMatrix data = GoldenData();
+  std::vector<Neighbor> out;
+  ASSERT_TRUE(pq->Search(data.row(3), 5, &out).ok());
+  ASSERT_EQ(out.size(), 5u);
+}
+
+TEST(GoldenFormatTest, LegacyV0OpqStillLoads) {
+  auto opq = OptimizedProductQuantizer::Load(GoldenPath("opq_v0.bin"));
+  ASSERT_TRUE(opq.ok()) << opq.status().message();
+  EXPECT_EQ(opq->size(), 120u);
+  EXPECT_TRUE(opq->ValidateInvariants().ok());
+
+  const FloatMatrix data = GoldenData();
+  std::vector<Neighbor> out;
+  ASSERT_TRUE(opq->Search(data.row(3), 5, &out).ok());
+  ASSERT_EQ(out.size(), 5u);
+}
+
+/// Save → Load → Save must reproduce the exact same bytes: nothing about
+/// an index is lost or mutated by a round trip through disk.
+template <typename T, typename LoadFn>
+void ExpectStableRoundTrip(const T& index, const LoadFn& load,
+                           const std::string& tmp) {
+  ASSERT_TRUE(index.Save(tmp).ok());
+  const std::string first = ReadWhole(tmp);
+  auto reloaded = load(tmp);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().message();
+  ASSERT_TRUE(reloaded->Save(tmp).ok());
+  EXPECT_EQ(ReadWhole(tmp), first)
+      << "save→load→save did not reproduce identical bytes";
+  std::remove(tmp.c_str());
+}
+
+TEST(GoldenFormatTest, UpgradedV0RoundTripsBitIdentically) {
+  auto index = VaqIndex::Load(GoldenPath("vaq_index_v0.bin"));
+  ASSERT_TRUE(index.ok());
+  ExpectStableRoundTrip(*index, &VaqIndex::Load,
+                        "/tmp/vaq_golden_upgrade.bin");
+}
+
+TEST(GoldenFormatTest, V1VaqIndexMatchesCommittedBytes) {
+  const std::string path = GoldenPath("vaq_index_v1.bin");
+  auto boxed = IsContainerFile(path);
+  ASSERT_TRUE(boxed.ok());
+  EXPECT_TRUE(*boxed);
+  auto index = VaqIndex::Load(path);
+  ASSERT_TRUE(index.ok()) << index.status().message();
+  const std::string tmp = "/tmp/vaq_golden_v1_resave.bin";
+  ASSERT_TRUE(index->Save(tmp).ok());
+  EXPECT_EQ(ReadWhole(tmp), ReadWhole(path))
+      << "current writer no longer reproduces the committed v1 format";
+  std::remove(tmp.c_str());
+
+  const FloatMatrix data = GoldenData();
+  SearchParams params;
+  params.k = 5;
+  std::vector<Neighbor> out;
+  ASSERT_TRUE(index->Search(data.row(3), params, &out).ok());
+  ASSERT_EQ(out.size(), 5u);
+}
+
+TEST(GoldenFormatTest, V1VaqIvfMatchesCommittedBytes) {
+  const std::string path = GoldenPath("vaq_ivf_v1.bin");
+  auto index = VaqIvfIndex::Load(path);
+  ASSERT_TRUE(index.ok()) << index.status().message();
+  const std::string tmp = "/tmp/vaq_golden_ivf_resave.bin";
+  ASSERT_TRUE(index->Save(tmp).ok());
+  EXPECT_EQ(ReadWhole(tmp), ReadWhole(path));
+  std::remove(tmp.c_str());
+}
+
+TEST(GoldenFormatTest, V1PqMatchesCommittedBytes) {
+  const std::string path = GoldenPath("pq_v1.bin");
+  auto pq = ProductQuantizer::Load(path);
+  ASSERT_TRUE(pq.ok()) << pq.status().message();
+  const std::string tmp = "/tmp/vaq_golden_pq_resave.bin";
+  ASSERT_TRUE(pq->Save(tmp).ok());
+  EXPECT_EQ(ReadWhole(tmp), ReadWhole(path));
+  std::remove(tmp.c_str());
+}
+
+TEST(GoldenFormatTest, V1OpqMatchesCommittedBytes) {
+  const std::string path = GoldenPath("opq_v1.bin");
+  auto opq = OptimizedProductQuantizer::Load(path);
+  ASSERT_TRUE(opq.ok()) << opq.status().message();
+  const std::string tmp = "/tmp/vaq_golden_opq_resave.bin";
+  ASSERT_TRUE(opq->Save(tmp).ok());
+  EXPECT_EQ(ReadWhole(tmp), ReadWhole(path));
+  std::remove(tmp.c_str());
+}
+
+TEST(GoldenFormatTest, LegacyAndV1GoldenAgreeOnSearchResults) {
+  // The two generations encode the same trained index; loading either
+  // must answer queries identically.
+  auto v0 = VaqIndex::Load(GoldenPath("vaq_index_v0.bin"));
+  auto v1 = VaqIndex::Load(GoldenPath("vaq_index_v1.bin"));
+  ASSERT_TRUE(v0.ok());
+  ASSERT_TRUE(v1.ok());
+  const FloatMatrix data = GoldenData();
+  SearchParams params;
+  params.k = 10;
+  for (size_t q = 0; q < 5; ++q) {
+    std::vector<Neighbor> a, b;
+    ASSERT_TRUE(v0->Search(data.row(q), params, &a).ok());
+    ASSERT_TRUE(v1->Search(data.row(q), params, &b).ok());
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id) << "query " << q << " rank " << i;
+      EXPECT_FLOAT_EQ(a[i].distance, b[i].distance);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vaq

@@ -83,5 +83,127 @@ TEST(IoTest, TruncatedMatrixFails) {
   EXPECT_EQ(ReadMatrix(ss, &out).code(), StatusCode::kIoError);
 }
 
+TEST(IoTest, SeekableStreamRejectsOversizedHeaderUpFront) {
+  // On a seekable stream the claimed element count is bounded against the
+  // real remaining payload before any allocation happens.
+  std::stringstream ss;
+  WritePod<uint64_t>(ss, uint64_t{1} << 60);
+  WritePod<uint32_t>(ss, 42);  // 4 bytes of "payload"
+  std::vector<double> out;
+  EXPECT_EQ(ReadVector(ss, &out).code(), StatusCode::kIoError);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IoTest, HeaderCountOverflowIsRejected) {
+  std::stringstream ss;
+  // n * sizeof(double) overflows uint64; must fail before any resize.
+  WritePod<uint64_t>(ss, std::numeric_limits<uint64_t>::max() - 1);
+  std::vector<double> out;
+  EXPECT_EQ(ReadVector(ss, &out).code(), StatusCode::kIoError);
+}
+
+/// Minimal non-seekable istream: serves bytes from a string through
+/// underflow() only, so tellg()/seekg() fail like on a pipe or socket.
+/// Exercises the chunked-read fallback in ReadVector/ReadMatrix/
+/// ReadString that caps eager allocations at kIoMaxEagerBytes.
+class NonSeekableStream : public std::istream {
+ public:
+  explicit NonSeekableStream(std::string bytes)
+      : std::istream(&buf_), buf_(std::move(bytes)) {}
+
+ private:
+  class Buf : public std::streambuf {
+   public:
+    explicit Buf(std::string bytes) : bytes_(std::move(bytes)) {}
+
+   protected:
+    int_type underflow() override {
+      if (pos_ >= bytes_.size()) return traits_type::eof();
+      ch_ = bytes_[pos_++];
+      setg(&ch_, &ch_, &ch_ + 1);
+      return traits_type::to_int_type(ch_);
+    }
+
+   private:
+    std::string bytes_;
+    size_t pos_ = 0;
+    char ch_ = 0;
+  };
+
+  Buf buf_;
+};
+
+TEST(IoTest, NonSeekableStreamIsActuallyNonSeekable) {
+  NonSeekableStream is("abc");
+  EXPECT_EQ(RemainingBytes(is), -1);
+}
+
+TEST(IoTest, NonSeekableHugeHeaderFailsWithoutHugeAllocation) {
+  // A corrupted header claiming 2^56 doubles must not drive a single
+  // eager multi-petabyte resize; the chunked reader fails at the stream's
+  // real end after at most one kIoMaxEagerBytes-sized step.
+  std::string bytes;
+  {
+    std::ostringstream os;
+    WritePod<uint64_t>(os, uint64_t{1} << 56);
+    WritePod<double>(os, 1.0);
+    bytes = os.str();
+  }
+  NonSeekableStream is(std::move(bytes));
+  std::vector<double> out;
+  EXPECT_EQ(ReadVector(is, &out).code(), StatusCode::kIoError);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IoTest, NonSeekableLargePayloadRoundTripsThroughChunkedPath) {
+  // Payload larger than kIoMaxEagerBytes with an honest header: the
+  // chunked path must reassemble it exactly.
+  const size_t n = kIoMaxEagerBytes / sizeof(uint32_t) + 1000;
+  std::vector<uint32_t> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = static_cast<uint32_t>(i * 2654435761u);
+  std::string bytes;
+  {
+    std::ostringstream os;
+    WriteVector(os, v);
+    bytes = os.str();
+  }
+  NonSeekableStream is(std::move(bytes));
+  std::vector<uint32_t> out;
+  ASSERT_TRUE(ReadVector(is, &out).ok());
+  EXPECT_EQ(out, v);
+}
+
+TEST(IoTest, NonSeekableLargeMatrixRoundTripsThroughChunkedPath) {
+  const size_t rows = 1200, cols = 1000;  // 4.8M floats > 4 MiB
+  FloatMatrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>((i * 37) % 1024) * 0.25f;
+  }
+  std::string bytes;
+  {
+    std::ostringstream os;
+    WriteMatrix(os, m);
+    bytes = os.str();
+  }
+  NonSeekableStream is(std::move(bytes));
+  FloatMatrix out;
+  ASSERT_TRUE(ReadMatrix(is, &out).ok());
+  EXPECT_TRUE(out == m);
+}
+
+TEST(IoTest, NonSeekableTruncatedStringFailsCleanly) {
+  std::string bytes;
+  {
+    std::ostringstream os;
+    WritePod<uint64_t>(os, kIoMaxEagerBytes * 3);  // forces chunked path
+    os << "only a few actual bytes";
+    bytes = os.str();
+  }
+  NonSeekableStream is(std::move(bytes));
+  std::string out;
+  EXPECT_EQ(ReadString(is, &out).code(), StatusCode::kIoError);
+  EXPECT_TRUE(out.empty());
+}
+
 }  // namespace
 }  // namespace vaq
