@@ -1,0 +1,172 @@
+// Latency-budget sweep: quantifies the graceful-degradation contract of
+// deadline-aware search (DESIGN.md §9). Every query of the workload runs
+// under a sequence of wall-clock budgets; for each budget the bench
+// reports recall against exact ground truth, the p50/p99 observed query
+// latency, the fraction of queries that truncated, and the mean share of
+// rows whose distance was fully accumulated. The expected picture: p99
+// tracks the budget (the deadline is enforced), recall climbs
+// monotonically toward the unbounded answer as the budget grows, and the
+// unbounded row reproduces the no-deadline baseline exactly.
+//
+// Flags: --n=<base vectors> --queries=<count> --k=<neighbors>
+//        --clusters=<TI clusters> --visit=<visit %% of clusters, 0-100>
+//        --budget_json[=path]  write rows as JSON (default
+//                              BENCH_latency_budget.json)
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/deadline.h"
+#include "core/vaq_index.h"
+#include "eval/metrics.h"
+
+using namespace vaq;
+using namespace vaq::bench;
+
+namespace {
+
+struct BudgetRow {
+  int64_t budget_us = 0;  ///< 0 = unbounded baseline
+  double recall = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double truncated_frac = 0.0;
+  double mean_rows_frac = 0.0;  ///< rows_scanned / n, averaged over queries
+};
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double idx = p * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+BudgetRow RunBudget(const VaqIndex& index, const Workload& w,
+                    const SearchParams& base_params, int64_t budget_us,
+                    SearchScratch* scratch) {
+  BudgetRow row;
+  row.budget_us = budget_us;
+  std::vector<std::vector<Neighbor>> results(w.queries.rows());
+  std::vector<double> latencies;
+  latencies.reserve(w.queries.rows());
+  size_t truncated = 0;
+  double rows_frac_sum = 0.0;
+  for (size_t q = 0; q < w.queries.rows(); ++q) {
+    SearchParams params = base_params;
+    if (budget_us > 0) params.deadline = Deadline::AfterMicros(budget_us);
+    SearchStats stats;
+    VAQ_CHECK(index.Search(w.queries.row(q), params, scratch, &results[q],
+                           &stats)
+                  .ok());
+    latencies.push_back(stats.wall_micros);
+    truncated += stats.truncated ? 1 : 0;
+    rows_frac_sum += static_cast<double>(stats.rows_scanned) /
+                     static_cast<double>(index.size());
+  }
+  row.recall = Recall(results, w.ground_truth, w.k);
+  row.p50_us = Percentile(latencies, 0.50);
+  row.p99_us = Percentile(latencies, 0.99);
+  row.truncated_frac = static_cast<double>(truncated) /
+                       static_cast<double>(w.queries.rows());
+  row.mean_rows_frac = rows_frac_sum / static_cast<double>(w.queries.rows());
+  return row;
+}
+
+void WriteJson(const std::string& path, const Workload& w,
+               const std::vector<BudgetRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"dataset\": \"%s\",\n  \"n\": %zu,\n  \"queries\": "
+               "%zu,\n  \"k\": %zu,\n  \"rows\": [\n",
+               w.name.c_str(), w.base.rows(), w.queries.rows(), w.k);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const BudgetRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"budget_us\": %lld, \"recall\": %.6f, "
+                 "\"p50_us\": %.2f, \"p99_us\": %.2f, "
+                 "\"truncated_frac\": %.4f, \"rows_scanned_frac\": %.4f}%s\n",
+                 static_cast<long long>(r.budget_us), r.recall, r.p50_us,
+                 r.p99_us, r.truncated_frac, r.mean_rows_frac,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t n = FlagValue(argc, argv, "--n", 20000);
+  const size_t nq = FlagValue(argc, argv, "--queries", 50);
+  const size_t k = FlagValue(argc, argv, "--k", 10);
+  const size_t clusters = FlagValue(argc, argv, "--clusters", 200);
+  const size_t visit_pct = FlagValue(argc, argv, "--visit", 25);
+
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--budget_json") {
+      json_path = "BENCH_latency_budget.json";
+    } else if (arg.rfind("--budget_json=", 0) == 0) {
+      json_path = arg.substr(std::string("--budget_json=").size());
+    }
+  }
+
+  const Workload w = MakeWorkload(SyntheticKind::kSiftLike, n, nq, k, 77);
+
+  VaqOptions opts;
+  opts.num_subspaces = 32;
+  opts.total_bits = 256;
+  opts.ti_clusters = clusters;
+  auto index = VaqIndex::Train(w.base, opts);
+  VAQ_CHECK(index.ok());
+
+  SearchParams params;
+  params.k = k;
+  params.mode = SearchMode::kTriangleInequality;
+  params.visit_fraction = static_cast<double>(visit_pct) / 100.0;
+
+  // One unbounded baseline, then budgets from "expires almost instantly"
+  // up past the unbounded p99 (where truncation should vanish).
+  const int64_t budgets_us[] = {0,  5,   10,  20,  50,   100,
+                                200, 500, 1000, 2000, 5000};
+
+  SearchScratch scratch;
+  // Warm the scratch (first query allocates the LUT and heap buffers).
+  {
+    std::vector<Neighbor> sink;
+    VAQ_CHECK(index->Search(w.queries.row(0), params, &scratch, &sink).ok());
+  }
+
+  std::printf("%-12s %10s %10s %10s %12s %12s\n", "budget(us)", "recall",
+              "p50(us)", "p99(us)", "truncated", "rows seen");
+  std::vector<BudgetRow> rows;
+  for (int64_t budget : budgets_us) {
+    rows.push_back(RunBudget(*index, w, params, budget, &scratch));
+    const BudgetRow& r = rows.back();
+    char label[32];
+    if (budget == 0) {
+      std::snprintf(label, sizeof(label), "unbounded");
+    } else {
+      std::snprintf(label, sizeof(label), "%lld",
+                    static_cast<long long>(budget));
+    }
+    std::printf("%-12s %10.4f %10.1f %10.1f %11.1f%% %11.1f%%\n", label,
+                r.recall, r.p50_us, r.p99_us, 100.0 * r.truncated_frac,
+                100.0 * r.mean_rows_frac);
+  }
+
+  if (!json_path.empty()) WriteJson(json_path, w, rows);
+  return 0;
+}

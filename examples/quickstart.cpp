@@ -67,5 +67,33 @@ int main() {
     std::printf("\nRecall@10 over %zu queries: %.3f\n", queries.rows(),
                 Recall(*approx, *exact, 10));
   }
+
+  // 5. Bounded-latency search: give the query a wall-clock budget. If it
+  //    expires mid-scan the call still succeeds, returning the exact
+  //    best-so-far top-k and reporting how far it got. The two budgets
+  //    below keep stdout deterministic: an already-expired deadline
+  //    always truncates (at the first check point, with zero rows
+  //    scanned), and a one-second budget always finishes.
+  params.deadline = Deadline::Expired();
+  SearchStats bounded_stats;
+  st = index->Search(queries.row(0), params, &result, &bounded_stats);
+  if (!st.ok()) {
+    std::fprintf(stderr, "bounded search failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nzero budget:  truncated=%d, %zu rows scanned, %zu results\n",
+              bounded_stats.truncated ? 1 : 0, bounded_stats.rows_scanned,
+              result.size());
+
+  params.deadline = Deadline::AfterMillis(1000);
+  st = index->Search(queries.row(0), params, &result, &bounded_stats);
+  if (!st.ok()) {
+    std::fprintf(stderr, "bounded search failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf("ample budget: truncated=%d, %zu results\n",
+              bounded_stats.truncated ? 1 : 0, result.size());
   return 0;
 }

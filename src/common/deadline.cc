@@ -1,0 +1,39 @@
+#include "common/deadline.h"
+
+namespace vaq {
+namespace {
+
+// Installed test hooks. Atomic so a stress test can (un)install them while
+// pool workers are mid-query without a data race; plain function pointers
+// keep the uninstrumented fast path to two relaxed loads.
+std::atomic<DeadlineClockFn> g_clock_fn{nullptr};
+std::atomic<DeadlineCheckHookFn> g_check_hook{nullptr};
+
+int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int64_t DeadlineNowNanos() {
+  const DeadlineClockFn fn = g_clock_fn.load(std::memory_order_acquire);
+  return fn != nullptr ? fn() : SteadyNowNanos();
+}
+
+void SetDeadlineClockForTesting(DeadlineClockFn fn) {
+  g_clock_fn.store(fn, std::memory_order_release);
+}
+
+void SetDeadlineCheckHookForTesting(DeadlineCheckHookFn fn) {
+  g_check_hook.store(fn, std::memory_order_release);
+}
+
+void StopController::InvokeCheckHookForTesting() {
+  const DeadlineCheckHookFn hook =
+      g_check_hook.load(std::memory_order_acquire);
+  if (hook != nullptr) hook();
+}
+
+}  // namespace vaq

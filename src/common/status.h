@@ -18,6 +18,10 @@ enum class StatusCode {
   kIoError,
   kUnimplemented,
   kInfeasible,  ///< Optimization problem has no feasible solution.
+  kDeadlineExceeded,  ///< Query budget expired in strict-deadline mode.
+  kCancelled,         ///< Caller cancelled the operation.
+  kUnavailable,  ///< Overloaded: admission control rejected the request;
+                 ///< safe to retry later or against another replica.
 };
 
 /// Lightweight error-or-success result, modeled after Arrow/RocksDB style
@@ -54,6 +58,15 @@ class Status {
   }
   static Status Infeasible(std::string msg) {
     return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

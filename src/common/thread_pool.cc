@@ -1,0 +1,95 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace vaq {
+
+ThreadPool::ThreadPool() : ThreadPool(Options()) {}
+
+ThreadPool::ThreadPool(const Options& options) {
+  size_t n = options.num_threads;
+  if (n == 0) {
+    n = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  queue_capacity_ =
+      options.queue_capacity != 0 ? options.queue_capacity : 4 * n;
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+size_t ThreadPool::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ || queue_.size() >= queue_capacity_) return false;
+    queue_.push_back(std::move(task));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+Status ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] {
+      return shutdown_ || queue_.size() < queue_capacity_;
+    });
+    if (shutdown_) {
+      return Status::Unavailable("thread pool is shutting down");
+    }
+    queue_.push_back(std::move(task));
+  }
+  not_empty_.notify_one();
+  return Status::OK();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    try {
+      task();
+    } catch (...) {
+      // Tasks own their error reporting; a leaked exception must not
+      // terminate the process by escaping a pool thread.
+    }
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool();  // intentionally leaked:
+  // pool workers may still be draining when static destructors run, and
+  // joining them at exit can deadlock against user atexit handlers.
+  return *pool;
+}
+
+AdmissionController& AdmissionController::Global() {
+  static AdmissionController* controller = new AdmissionController();
+  return *controller;
+}
+
+}  // namespace vaq

@@ -1,6 +1,7 @@
 #include "core/scan.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 
@@ -122,9 +123,11 @@ const char* AutoScanKernelName() {
 void BlockedFullScan(const BlockedCodes& bc, const uint32_t* ids,
                      const float* lut, const uint32_t* lut_offsets,
                      size_t s_limit, const ScanKernel& kernel, float* acc,
-                     TopKHeap* heap, SearchStats* stats) {
+                     TopKHeap* heap, SearchStats* stats,
+                     StopController* stop) {
   const size_t n = bc.rows();
   for (size_t row = 0; row < n; row += kScanBlockSize) {
+    if (stop != nullptr && stop->ShouldStop()) return;
     const size_t lanes = std::min(kScanBlockSize, n - row);
     std::fill(acc, acc + kScanBlockSize, 0.f);
     kernel.accumulate(bc.block(row / kScanBlockSize), lut, lut_offsets, 0,
@@ -137,6 +140,7 @@ void BlockedFullScan(const BlockedCodes& bc, const uint32_t* ids,
     if (stats != nullptr) {
       stats->codes_visited += lanes;
       stats->lut_adds += s_limit * lanes;
+      stats->rows_scanned += lanes;
     }
   }
 }
@@ -145,11 +149,13 @@ void BlockedEaScan(const BlockedCodes& bc, size_t row_begin, size_t row_end,
                    const uint32_t* ids, const float* lut,
                    const uint32_t* lut_offsets, size_t s_limit,
                    size_t interval, const ScanKernel& kernel, float* acc,
-                   TopKHeap* heap, SearchStats* stats) {
+                   TopKHeap* heap, SearchStats* stats,
+                   StopController* stop) {
   VAQ_DCHECK(row_end <= bc.rows());
   interval = std::max<size_t>(1, interval);
   size_t row = row_begin;
   while (row < row_end) {
+    if (stop != nullptr && stop->ShouldStop()) return;
     const size_t b = row / kScanBlockSize;
     const size_t block_row0 = b * kScanBlockSize;
     const size_t lo = row - block_row0;
@@ -161,9 +167,9 @@ void BlockedEaScan(const BlockedCodes& bc, size_t row_begin, size_t row_end,
     size_t s = 0;
     bool abandoned = false;
     while (s < s_limit) {
-      const size_t stop = std::min(s + interval, s_limit);
-      kernel.accumulate(block, lut, lut_offsets, s, stop, acc);
-      s = stop;
+      const size_t s_stop = std::min(s + interval, s_limit);
+      kernel.accumulate(block, lut, lut_offsets, s, s_stop, acc);
+      s = s_stop;
       if (s >= s_limit) break;
       float min_partial = acc[lo];
       for (size_t i = lo + 1; i < hi; ++i) {
@@ -181,6 +187,7 @@ void BlockedEaScan(const BlockedCodes& bc, size_t row_begin, size_t row_end,
     if (!abandoned) {
       // Every lane holds a complete distance; Push rejects anything at or
       // above the live threshold, so stale-threshold pushes are harmless.
+      if (stats != nullptr) stats->rows_scanned += hi - lo;
       for (size_t i = lo; i < hi; ++i) {
         const size_t global = block_row0 + i;
         heap->Push(acc[i], static_cast<int64_t>(
@@ -189,6 +196,30 @@ void BlockedEaScan(const BlockedCodes& bc, size_t row_begin, size_t row_end,
     }
     row = block_row0 + kScanBlockSize;
   }
+}
+
+Status FinalizeSearchResult(const StopController* stop, bool strict_deadline,
+                            TopKHeap* heap, std::vector<Neighbor>* out,
+                            SearchStats* stats, double wall_micros) {
+  const bool stopped = stop != nullptr && stop->stopped();
+  if (stats != nullptr) {
+    stats->truncated = stopped;
+    stats->wall_micros = wall_micros;
+  }
+  if (stopped && stop->cause() == StopCause::kCancelled) {
+    out->clear();
+    return Status::Cancelled("search cancelled by caller");
+  }
+  if (stopped && strict_deadline) {
+    out->clear();
+    return Status::DeadlineExceeded("search deadline expired before the "
+                                    "planned work completed");
+  }
+  heap->ExtractSorted(out);
+  for (Neighbor& nb : *out) {
+    nb.distance = std::sqrt(std::max(0.f, nb.distance));
+  }
+  return Status::OK();
 }
 
 }  // namespace vaq

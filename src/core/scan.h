@@ -5,7 +5,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/matrix.h"
+#include "common/status.h"
 #include "common/topk.h"
 
 namespace vaq {
@@ -22,8 +24,16 @@ struct SearchStats {
   size_t codes_visited = 0;      ///< codes whose distance accumulation began
   size_t codes_skipped_ti = 0;   ///< codes pruned by the triangle inequality
   size_t lut_adds = 0;           ///< lookup-table additions performed
-  size_t clusters_visited = 0;
+  size_t clusters_visited = 0;   ///< partitions the query *planned* to visit
   size_t clusters_total = 0;
+
+  // Degradation report (DESIGN.md §9). With no deadline or cancellation
+  // these describe the same complete execution as the counters above.
+  bool truncated = false;         ///< stopped before the planned work finished
+  size_t rows_scanned = 0;        ///< rows whose full distance was accumulated
+  size_t partitions_visited = 0;  ///< TI clusters / IVF cells actually entered
+  size_t partitions_total = 0;    ///< partitions in the index (0 = flat scan)
+  double wall_micros = 0.0;       ///< wall time of the Search() call
 
   void Reset() { *this = SearchStats{}; }
 };
@@ -125,10 +135,16 @@ struct SearchScratch {
 /// subspaces for every row of `bc` and pushes every distance. `ids` maps
 /// blocked row index -> global id (nullptr = identity). `acc` is a
 /// caller-owned kScanBlockSize buffer (SearchScratch::acc).
+///
+/// `stop` (optional) is consulted once per 64-row block; when it fires
+/// the scan returns immediately with the heap holding the best-so-far
+/// top-k over the rows already processed. Passing nullptr (the default)
+/// keeps the loop free of any deadline overhead.
 void BlockedFullScan(const BlockedCodes& bc, const uint32_t* ids,
                      const float* lut, const uint32_t* lut_offsets,
                      size_t s_limit, const ScanKernel& kernel, float* acc,
-                     TopKHeap* heap, SearchStats* stats);
+                     TopKHeap* heap, SearchStats* stats,
+                     StopController* stop = nullptr);
 
 /// Blocked early-abandoning scan of rows [row_begin, row_end) of `bc`.
 /// The best-so-far threshold is read once per block; after every
@@ -138,11 +154,24 @@ void BlockedFullScan(const BlockedCodes& bc, const uint32_t* ids,
 /// abandoned partial sum is never mistaken for a distance — the same
 /// invariant as the reference per-row early abandon, and therefore the
 /// same final top-k.
+/// `stop` has the same block-granular semantics as in BlockedFullScan.
 void BlockedEaScan(const BlockedCodes& bc, size_t row_begin, size_t row_end,
                    const uint32_t* ids, const float* lut,
                    const uint32_t* lut_offsets, size_t s_limit,
                    size_t interval, const ScanKernel& kernel, float* acc,
-                   TopKHeap* heap, SearchStats* stats);
+                   TopKHeap* heap, SearchStats* stats,
+                   StopController* stop = nullptr);
+
+/// Shared tail of every Search() driver: stamps the degradation report
+/// into `stats`, then either extracts the (possibly partial) best-so-far
+/// heap into `out` — converting squared ADC estimates to distances — or
+/// maps the stop cause to a Status. Cancellation always fails with
+/// kCancelled and clears `out`; an expired deadline fails with
+/// kDeadlineExceeded only when `strict_deadline` is set, and otherwise
+/// degrades gracefully: OK status, partial results, stats->truncated.
+Status FinalizeSearchResult(const StopController* stop, bool strict_deadline,
+                            TopKHeap* heap, std::vector<Neighbor>* out,
+                            SearchStats* stats, double wall_micros);
 
 }  // namespace vaq
 

@@ -1,0 +1,41 @@
+#ifndef VAQ_CORE_SEARCH_BATCH_H_
+#define VAQ_CORE_SEARCH_BATCH_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "core/scan.h"
+
+namespace vaq {
+
+/// Shared batch-execution driver for VaqIndex::SearchBatchInto and
+/// VaqIvfIndex::SearchBatchInto. Runs `run_query(q, &scratch)` for every
+/// q in [0, num_queries) and records one Status per query.
+///
+/// Execution model (DESIGN.md §9):
+///  - num_threads <= 1 runs inline on the caller's thread.
+///  - Otherwise the batch is split into `num_threads` contiguous chunks
+///    executed on the process-wide ThreadPool — no threads are created or
+///    joined per call. Each chunk owns one SearchScratch, preserving the
+///    allocation-free steady state of the previous per-call threads.
+///  - Parallel batches pass admission control first: when the in-flight
+///    query cap would be exceeded the whole batch fast-fails with
+///    kUnavailable and `statuses` is left untouched.
+///  - A query failure is recorded in its status slot and the chunk moves
+///    on; an exception poisons only the chunk's remaining queries (their
+///    slots get kInternal) — other chunks' results always survive.
+///
+/// Returns non-OK only for batch-level failures (admission overflow,
+/// pool shutdown). When `statuses` is nullptr a per-query failure is
+/// instead surfaced as the first non-OK status, preserving the legacy
+/// all-or-nothing contract.
+Status RunSearchBatch(
+    size_t num_queries, size_t num_threads,
+    const std::function<Status(size_t, SearchScratch*)>& run_query,
+    std::vector<Status>* statuses);
+
+}  // namespace vaq
+
+#endif  // VAQ_CORE_SEARCH_BATCH_H_

@@ -8,8 +8,10 @@
 
 #include "common/io.h"
 #include "common/serialize.h"
+#include "common/timer.h"
 #include "core/allocation.h"
 #include "core/balance.h"
+#include "core/search_batch.h"
 
 namespace vaq {
 namespace {
@@ -34,7 +36,10 @@ float EarlyAbandonAdc(const VariableCodebooks& books, const uint16_t* code,
     }
     if (acc >= threshold_sq) break;
   }
-  if (stats != nullptr) stats->lut_adds += s;
+  if (stats != nullptr) {
+    stats->lut_adds += s;
+    if (s == s_limit) ++stats->rows_scanned;
+  }
   return acc;
 }
 
@@ -217,8 +222,8 @@ void VaqIndex::ProjectQuery(const float* query,
 void VaqIndex::SearchProjectedReference(const float* projected,
                                         const SearchParams& params,
                                         SearchScratch* scratch,
-                                        TopKHeap* heap,
-                                        SearchStats* stats) const {
+                                        TopKHeap* heap, SearchStats* stats,
+                                        StopController* stop) const {
   std::vector<float>& lut = scratch->lut;
   books_.BuildLookupTable(projected, &lut);
 
@@ -235,6 +240,10 @@ void VaqIndex::SearchProjectedReference(const float* projected,
   const size_t n = codes_.rows();
   if (mode == SearchMode::kHeap) {
     for (size_t r = 0; r < n; ++r) {
+      // Same check granularity as the blocked kernels: every 64 rows.
+      if (stop != nullptr && r % kScanBlockSize == 0 && stop->ShouldStop()) {
+        return;
+      }
       const uint16_t* code = codes_.row(r);
       float acc = 0.f;
       for (size_t s = 0; s < s_limit; ++s) {
@@ -244,6 +253,7 @@ void VaqIndex::SearchProjectedReference(const float* projected,
       if (stats != nullptr) {
         ++stats->codes_visited;
         stats->lut_adds += s_limit;
+        ++stats->rows_scanned;
       }
     }
     return;
@@ -251,6 +261,9 @@ void VaqIndex::SearchProjectedReference(const float* projected,
 
   if (mode == SearchMode::kEarlyAbandon) {
     for (size_t r = 0; r < n; ++r) {
+      if (stop != nullptr && r % kScanBlockSize == 0 && stop->ShouldStop()) {
+        return;
+      }
       const float threshold = heap->Threshold();
       const float acc =
           EarlyAbandonAdc(books_, codes_.row(r), lut.data(), threshold,
@@ -277,9 +290,12 @@ void VaqIndex::SearchProjectedReference(const float* projected,
   if (stats != nullptr) {
     stats->clusters_total = order.size();
     stats->clusters_visited = visit;
+    stats->partitions_total = order.size();
   }
 
   for (size_t v = 0; v < visit; ++v) {
+    if (stop != nullptr && stop->ShouldStop()) return;
+    if (stats != nullptr) ++stats->partitions_visited;
     const size_t c = order[v];
     const TiPartition::Cluster& cluster = ti_.cluster(c);
     if (cluster.ids.empty()) continue;
@@ -304,6 +320,10 @@ void VaqIndex::SearchProjectedReference(const float* projected,
       }
     }
     for (size_t i = begin; i < end; ++i) {
+      if (stop != nullptr && (i - begin) % kScanBlockSize == 0 &&
+          i != begin && stop->ShouldStop()) {
+        return;
+      }
       const float threshold = heap->Threshold();
       if (heap->full()) {
         const float r = std::sqrt(threshold);
@@ -335,9 +355,10 @@ void VaqIndex::SearchProjectedReference(const float* projected,
 void VaqIndex::SearchProjected(const float* projected,
                                const SearchParams& params,
                                SearchScratch* scratch, TopKHeap* heap,
-                               SearchStats* stats) const {
+                               SearchStats* stats,
+                               StopController* stop) const {
   if (params.kernel == ScanKernelType::kReference) {
-    SearchProjectedReference(projected, params, scratch, heap, stats);
+    SearchProjectedReference(projected, params, scratch, heap, stats, stop);
     return;
   }
   const ScanKernel& kernel = GetScanKernel(params.kernel);
@@ -357,14 +378,14 @@ void VaqIndex::SearchProjected(const float* projected,
 
   if (mode == SearchMode::kHeap) {
     BlockedFullScan(blocked_, nullptr, lut.data(), lut_offsets32_.data(),
-                    s_limit, kernel, scratch->acc, heap, stats);
+                    s_limit, kernel, scratch->acc, heap, stats, stop);
     return;
   }
 
   if (mode == SearchMode::kEarlyAbandon) {
     BlockedEaScan(blocked_, 0, blocked_.rows(), nullptr, lut.data(),
                   lut_offsets32_.data(), s_limit, interval, kernel,
-                  scratch->acc, heap, stats);
+                  scratch->acc, heap, stats, stop);
     return;
   }
 
@@ -387,9 +408,14 @@ void VaqIndex::SearchProjected(const float* projected,
   if (stats != nullptr) {
     stats->clusters_total = order.size();
     stats->clusters_visited = visit;
+    stats->partitions_total = order.size();
   }
 
   for (size_t v = 0; v < visit; ++v) {
+    // Between-partition check: on expiry the heap already holds the
+    // best-so-far over every partition (and partial block) completed.
+    if (stop != nullptr && stop->ShouldStop()) return;
+    if (stats != nullptr) ++stats->partitions_visited;
     const size_t c = order[v];
     const TiPartition::Cluster& cluster = ti_.cluster(c);
     if (cluster.ids.empty()) continue;
@@ -411,7 +437,7 @@ void VaqIndex::SearchProjected(const float* projected,
     }
     size_t i = begin;
     while (i < end) {
-      size_t stop = end;
+      size_t stop_row = end;
       if (heap->full()) {
         const float r = std::sqrt(heap->Threshold());
         // Leading members too close to the centroid cannot improve.
@@ -421,8 +447,9 @@ void VaqIndex::SearchProjected(const float* projected,
         i = skip_to;
         if (i >= end) break;
         // Sorted ascending: everything at or past dq + r is out of range.
-        stop = std::lower_bound(cached + i, cached + end, dq + r) - cached;
-        if (stop == i) {
+        stop_row =
+            std::lower_bound(cached + i, cached + end, dq + r) - cached;
+        if (stop_row == i) {
           if (stats != nullptr) stats->codes_skipped_ti += end - i;
           break;
         }
@@ -431,12 +458,13 @@ void VaqIndex::SearchProjected(const float* projected,
       // the window is re-tightened against the improved threshold before
       // the next block starts.
       const size_t chunk_end =
-          std::min(stop, (i / kScanBlockSize + 1) * kScanBlockSize);
+          std::min(stop_row, (i / kScanBlockSize + 1) * kScanBlockSize);
       BlockedEaScan(bc, i, chunk_end, cluster.ids.data(), lut.data(),
                     lut_offsets32_.data(), m, interval, kernel, scratch->acc,
-                    heap, stats);
-      if (chunk_end == stop && stop < end) {
-        if (stats != nullptr) stats->codes_skipped_ti += end - stop;
+                    heap, stats, stop);
+      if (stop != nullptr && stop->stopped()) return;
+      if (chunk_end == stop_row && stop_row < end) {
+        if (stats != nullptr) stats->codes_skipped_ti += end - stop_row;
         break;
       }
       i = chunk_end;
@@ -451,16 +479,48 @@ Status VaqIndex::Search(const float* query, const SearchParams& params,
   return Search(query, params, &scratch, out, stats);
 }
 
-Status VaqIndex::Search(const float* query, const SearchParams& params,
-                        SearchScratch* scratch, std::vector<Neighbor>* out,
-                        SearchStats* stats) const {
+/// User-supplied SearchParams never abort: every reachable misuse maps to
+/// InvalidArgument (PR 2 established the same rule for untrusted files).
+Status VaqIndex::ValidateSearchParams(const SearchParams& params) const {
   if (!books_.trained()) {
     return Status::FailedPrecondition("index is not trained");
   }
   if (params.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (params.k > size()) {
+    return Status::InvalidArgument("k exceeds the number of indexed "
+                                   "vectors");
+  }
   if (params.visit_fraction <= 0.0 || params.visit_fraction > 1.0) {
     return Status::InvalidArgument("visit_fraction must be in (0, 1]");
   }
+  switch (params.mode) {
+    case SearchMode::kHeap:
+    case SearchMode::kEarlyAbandon:
+    case SearchMode::kTriangleInequality:
+      break;
+    default:
+      return Status::InvalidArgument("unknown SearchMode value");
+  }
+  switch (params.kernel) {
+    case ScanKernelType::kAuto:
+    case ScanKernelType::kScalar:
+    case ScanKernelType::kAvx2:
+    case ScanKernelType::kReference:
+      break;
+    default:
+      return Status::InvalidArgument("unknown ScanKernelType value");
+  }
+  return Status::OK();
+}
+
+Status VaqIndex::Search(const float* query, const SearchParams& params,
+                        SearchScratch* scratch, std::vector<Neighbor>* out,
+                        SearchStats* stats) const {
+  WallTimer timer;
+  VAQ_RETURN_IF_ERROR(ValidateSearchParams(params));
+  StopController stop(params.deadline, params.cancel_token);
+  StopController* stop_ptr = stop.armed() ? &stop : nullptr;
+
   scratch->pca_space.resize(dim());
   pca_.TransformRow(query, scratch->pca_space.data());
   scratch->projected.resize(dim());
@@ -470,12 +530,10 @@ Status VaqIndex::Search(const float* query, const SearchParams& params,
 
   scratch->heap.Reset(params.k);
   SearchProjected(scratch->projected.data(), params, scratch, &scratch->heap,
-                  stats);
-  scratch->heap.ExtractSorted(out);
-  for (Neighbor& nb : *out) {
-    nb.distance = std::sqrt(std::max(0.f, nb.distance));
-  }
-  return Status::OK();
+                  stats, stop_ptr);
+  return FinalizeSearchResult(stop_ptr, params.strict_deadline,
+                              &scratch->heap, out, stats,
+                              timer.ElapsedMicros());
 }
 
 Result<std::vector<std::vector<Neighbor>>> VaqIndex::SearchBatch(
@@ -488,52 +546,31 @@ Result<std::vector<std::vector<Neighbor>>> VaqIndex::SearchBatch(
 
 Status VaqIndex::SearchBatchInto(
     const FloatMatrix& queries, const SearchParams& params,
-    size_t num_threads, std::vector<std::vector<Neighbor>>* results) const {
+    size_t num_threads, std::vector<std::vector<Neighbor>>* results,
+    std::vector<Status>* statuses,
+    std::vector<SearchStats>* query_stats) const {
   if (queries.cols() != dim()) {
     return Status::InvalidArgument("query dimension mismatch");
   }
-  results->resize(queries.rows());
-  if (num_threads == 0) {
-    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
-  }
-  num_threads = std::min(num_threads, std::max<size_t>(1, queries.rows()));
-  if (num_threads <= 1) {
-    SearchScratch scratch;
-    for (size_t q = 0; q < queries.rows(); ++q) {
-      VAQ_RETURN_IF_ERROR(
-          Search(queries.row(q), params, &scratch, &(*results)[q]));
-    }
-    return Status::OK();
-  }
-  // Queries are independent; each worker owns a disjoint slice and one
-  // scratch, so the per-query path is allocation-free once warmed up. The
-  // first error (all failure modes are argument validation, identical
-  // across queries) is reported after the join.
-  std::vector<Status> failures(num_threads);
-  std::vector<std::thread> workers;
-  const size_t chunk = (queries.rows() + num_threads - 1) / num_threads;
-  for (size_t t = 0; t < num_threads; ++t) {
-    const size_t begin = t * chunk;
-    const size_t end = std::min(queries.rows(), begin + chunk);
-    if (begin >= end) break;
-    workers.emplace_back([this, &queries, &params, results, &failures, t,
-                          begin, end] {
-      SearchScratch scratch;
-      for (size_t q = begin; q < end; ++q) {
-        const Status st =
-            Search(queries.row(q), params, &scratch, &(*results)[q]);
-        if (!st.ok()) {
-          failures[t] = st;
-          return;
-        }
-      }
-    });
-  }
-  for (auto& worker : workers) worker.join();
-  for (const Status& st : failures) {
-    if (!st.ok()) return st;
-  }
-  return Status::OK();
+  const size_t nq = queries.rows();
+  results->resize(nq);
+  if (query_stats != nullptr) query_stats->assign(nq, SearchStats{});
+  // Queries are independent; each chunk owns one scratch on the shared
+  // pool, so the per-query path stays allocation-free once warmed up.
+  // params.deadline is an absolute expiry shared by every query: the
+  // whole batch is bounded by one budget, and queries still queued when
+  // it passes degrade (or strict-fail) at their first check point instead
+  // of wedging the batch.
+  return RunSearchBatch(
+      nq, num_threads,
+      [this, &queries, &params, results, query_stats](
+          size_t q, SearchScratch* scratch) {
+        SearchStats* stats =
+            query_stats != nullptr ? &(*query_stats)[q] : nullptr;
+        return Search(queries.row(q), params, scratch, &(*results)[q],
+                      stats);
+      },
+      statuses);
 }
 
 void VaqIndex::SaveOptionsSection(std::ostream& os) const {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/matrix.h"
 #include "common/status.h"
 #include "common/topk.h"
@@ -78,6 +79,20 @@ struct SearchParams {
   /// row-at-a-time loop, kept as the correctness oracle. All choices
   /// return bit-identical neighbors and distances.
   ScanKernelType kernel = ScanKernelType::kAuto;
+  /// Wall-clock budget for this query (absolute expiry; a copy handed to
+  /// every query of a batch enforces one shared batch deadline). The
+  /// default never expires and adds zero overhead to the hot path.
+  /// Checked between 64-row blocks and between TI partitions, so on
+  /// expiry the query returns the meaningful best-so-far top-k
+  /// accumulated so far (DESIGN.md §9).
+  Deadline deadline;
+  /// Cooperative cancellation, checked at the same granularity. A
+  /// cancelled query always fails with kCancelled.
+  CancellationToken cancel_token;
+  /// false (default): an expired deadline degrades gracefully — partial
+  /// results, OK status, SearchStats::truncated set. true: the query
+  /// fails with kDeadlineExceeded instead of returning partial results.
+  bool strict_deadline = false;
 };
 
 /// Variance-Aware Quantization index: the paper's end-to-end system
@@ -141,9 +156,26 @@ class VaqIndex {
   /// to the query count; per-query vectors and per-worker scratches are
   /// reused across calls, so a steady-state serving loop that recycles
   /// `results` performs no per-query allocations after its first batch.
+  ///
+  /// Parallel batches run on the process-wide ThreadPool (no threads are
+  /// spawned per call) behind admission control: when the global
+  /// in-flight query cap would be exceeded the call fast-fails with
+  /// kUnavailable before doing any work. `params.deadline` is shared by
+  /// every query, bounding the whole batch; a query that fails mid-batch
+  /// no longer discards the others.
+  ///
+  /// `statuses` (optional) receives one Status per query; when provided,
+  /// the return value reports only batch-level failures (admission,
+  /// shutdown) and per-query errors never mask other queries' results.
+  /// When omitted, the first per-query error is returned (legacy
+  /// contract). `query_stats` (optional) receives per-query SearchStats,
+  /// including the truncation report for deadline-degraded queries.
   Status SearchBatchInto(const FloatMatrix& queries,
                          const SearchParams& params, size_t num_threads,
-                         std::vector<std::vector<Neighbor>>* results) const;
+                         std::vector<std::vector<Neighbor>>* results,
+                         std::vector<Status>* statuses = nullptr,
+                         std::vector<SearchStats>* query_stats = nullptr)
+      const;
 
   /// Projects a raw vector into the index's (permuted PCA) code space.
   void ProjectQuery(const float* query, std::vector<float>* projected) const;
@@ -174,13 +206,15 @@ class VaqIndex {
   Status LoadPcaSection(std::istream& is);
   void SaveLayoutSection(std::ostream& os) const;
   Status LoadLayoutSection(std::istream& is);
+  Status ValidateSearchParams(const SearchParams& params) const;
   void SearchProjected(const float* projected, const SearchParams& params,
                        SearchScratch* scratch, TopKHeap* heap,
-                       SearchStats* stats) const;
+                       SearchStats* stats, StopController* stop) const;
   void SearchProjectedReference(const float* projected,
                                 const SearchParams& params,
                                 SearchScratch* scratch, TopKHeap* heap,
-                                SearchStats* stats) const;
+                                SearchStats* stats,
+                                StopController* stop) const;
   /// (Re)builds the blocked code layouts and narrow LUT offsets the scan
   /// kernels consume. Called after Train/Add/Load mutate codes_ or ti_.
   void BuildScanStructures();

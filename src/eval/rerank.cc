@@ -9,11 +9,16 @@ namespace vaq {
 std::vector<Neighbor> RerankWithOriginal(
     const FloatMatrix& base, const float* query,
     const std::vector<Neighbor>& candidates, size_t k) {
-  VAQ_CHECK(k > 0);
+  // Tolerate misuse instead of aborting: k = 0 asks for nothing, and a
+  // candidate id outside the base (possible when a caller mixes result
+  // lists across indexes) is skipped rather than read out of bounds.
+  if (k == 0) return {};
   TopKHeap heap(k);
   for (const Neighbor& candidate : candidates) {
-    VAQ_DCHECK(candidate.id >= 0 &&
-               candidate.id < static_cast<int64_t>(base.rows()));
+    if (candidate.id < 0 ||
+        candidate.id >= static_cast<int64_t>(base.rows())) {
+      continue;
+    }
     const float dist = SquaredL2(
         query, base.row(static_cast<size_t>(candidate.id)), base.cols());
     heap.Push(dist, candidate.id);

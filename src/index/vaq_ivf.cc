@@ -9,8 +9,10 @@
 #include "common/io.h"
 #include "common/macros.h"
 #include "common/serialize.h"
+#include "common/timer.h"
 #include "core/allocation.h"
 #include "core/balance.h"
+#include "core/search_batch.h"
 
 namespace vaq {
 
@@ -324,12 +326,26 @@ Status VaqIvfIndex::Search(const float* query, size_t k, size_t nprobe,
 Status VaqIvfIndex::Search(const float* query, size_t k, size_t nprobe,
                            SearchScratch* scratch, std::vector<Neighbor>* out,
                            SearchStats* stats) const {
+  return Search(query, k, nprobe, QueryControl{}, scratch, out, stats);
+}
+
+Status VaqIvfIndex::Search(const float* query, size_t k, size_t nprobe,
+                           const QueryControl& control,
+                           SearchScratch* scratch, std::vector<Neighbor>* out,
+                           SearchStats* stats) const {
+  WallTimer timer;
   if (!books_.trained()) {
     return Status::FailedPrecondition("index is not trained");
   }
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (k > size()) {
+    return Status::InvalidArgument("k exceeds the number of indexed "
+                                   "vectors");
+  }
   if (nprobe == 0) nprobe = options_.default_nprobe;
   nprobe = std::min(nprobe, coarse_.k());
+  StopController stop_state(control.deadline, control.cancel_token);
+  StopController* stop = stop_state.armed() ? &stop_state : nullptr;
 
   // Project the query into the permuted PCA space.
   scratch->pca_space.resize(dim());
@@ -364,24 +380,35 @@ Status VaqIvfIndex::Search(const float* query, size_t k, size_t nprobe,
   if (stats != nullptr) {
     stats->clusters_total = coarse_.k();
     stats->clusters_visited = nprobe;
+    stats->partitions_total = coarse_.k();
   }
 
   // Blocked early-abandoned ADC scan of the probed lists
   // (importance-ordered subspaces, threshold checked once per block every
-  // 4 subspaces, same kernels as VaqIndex).
+  // 4 subspaces, same kernels as VaqIndex). The deadline/cancel check
+  // runs between coarse cells here and between 64-row blocks inside
+  // BlockedEaScan.
   const size_t m = books_.num_subspaces();
   TopKHeap& heap = scratch->heap;
   heap.Reset(k);
   if (options_.scan_kernel == ScanKernelType::kReference) {
     for (size_t v = 0; v < nprobe; ++v) {
-      for (uint32_t id : lists_[order[v]]) {
+      if (stop != nullptr && stop->ShouldStop()) break;
+      if (stats != nullptr) ++stats->partitions_visited;
+      const std::vector<uint32_t>& list = lists_[order[v]];
+      for (size_t i = 0; i < list.size(); ++i) {
+        if (stop != nullptr && i % kScanBlockSize == 0 && i != 0 &&
+            stop->ShouldStop()) {
+          break;
+        }
+        const uint32_t id = list[i];
         const float threshold = heap.Threshold();
         const uint16_t* code = codes_.row(id);
         float acc = 0.f;
         size_t s = 0;
         while (s < m) {
-          const size_t stop = std::min(s + 4, m);
-          for (; s < stop; ++s) {
+          const size_t s_stop = std::min(s + 4, m);
+          for (; s < s_stop; ++s) {
             acc += lut[books_.lut_offset(s) + code[s]];
           }
           if (acc >= threshold) break;
@@ -389,24 +416,51 @@ Status VaqIvfIndex::Search(const float* query, size_t k, size_t nprobe,
         if (stats != nullptr) {
           ++stats->codes_visited;
           stats->lut_adds += s;
+          if (s == m) ++stats->rows_scanned;
         }
         if (acc < threshold) heap.Push(acc, static_cast<int64_t>(id));
       }
+      if (stop != nullptr && stop->stopped()) break;
     }
   } else {
     const ScanKernel& kernel = GetScanKernel(options_.scan_kernel);
     for (size_t v = 0; v < nprobe; ++v) {
+      if (stop != nullptr && stop->ShouldStop()) break;
+      if (stats != nullptr) ++stats->partitions_visited;
       const size_t c = order[v];
       const BlockedCodes& bc = list_blocked_[c];
       if (bc.empty()) continue;
       BlockedEaScan(bc, 0, bc.rows(), lists_[c].data(), lut.data(),
                     lut_offsets32_.data(), m, /*interval=*/4, kernel,
-                    scratch->acc, &heap, stats);
+                    scratch->acc, &heap, stats, stop);
     }
   }
-  heap.ExtractSorted(out);
-  for (Neighbor& nb : *out) nb.distance = std::sqrt(std::max(0.f, nb.distance));
-  return Status::OK();
+  return FinalizeSearchResult(stop, control.strict_deadline, &heap, out,
+                              stats, timer.ElapsedMicros());
+}
+
+Status VaqIvfIndex::SearchBatchInto(
+    const FloatMatrix& queries, size_t k, size_t nprobe,
+    const QueryControl& control, size_t num_threads,
+    std::vector<std::vector<Neighbor>>* results,
+    std::vector<Status>* statuses,
+    std::vector<SearchStats>* query_stats) const {
+  if (queries.cols() != dim()) {
+    return Status::InvalidArgument("query dimension mismatch");
+  }
+  const size_t nq = queries.rows();
+  results->resize(nq);
+  if (query_stats != nullptr) query_stats->assign(nq, SearchStats{});
+  return RunSearchBatch(
+      nq, num_threads,
+      [this, &queries, k, nprobe, &control, results, query_stats](
+          size_t q, SearchScratch* scratch) {
+        SearchStats* stats =
+            query_stats != nullptr ? &(*query_stats)[q] : nullptr;
+        return Search(queries.row(q), k, nprobe, control, scratch,
+                      &(*results)[q], stats);
+      },
+      statuses);
 }
 
 }  // namespace vaq

@@ -53,6 +53,25 @@ class VaqIvfIndex {
                 SearchScratch* scratch, std::vector<Neighbor>* out,
                 SearchStats* stats = nullptr) const;
 
+  /// Deadline-aware / cancellable variant: the budget and token in
+  /// `control` are checked between coarse cells and between 64-row blocks
+  /// inside each probed list, with the same degrade-vs-strict semantics
+  /// as VaqIndex (DESIGN.md §9).
+  Status Search(const float* query, size_t k, size_t nprobe,
+                const QueryControl& control, SearchScratch* scratch,
+                std::vector<Neighbor>* out,
+                SearchStats* stats = nullptr) const;
+
+  /// Batch search on the process-wide ThreadPool behind admission
+  /// control; mirrors VaqIndex::SearchBatchInto (fast-fail kUnavailable
+  /// on overload, shared batch deadline, per-query statuses).
+  Status SearchBatchInto(const FloatMatrix& queries, size_t k, size_t nprobe,
+                         const QueryControl& control, size_t num_threads,
+                         std::vector<std::vector<Neighbor>>* results,
+                         std::vector<Status>* statuses = nullptr,
+                         std::vector<SearchStats>* query_stats = nullptr)
+      const;
+
   /// Persists the index as a versioned, checksummed container, staged to
   /// a temp file and renamed into place (crash-safe; see DESIGN.md §8).
   Status Save(const std::string& path) const;

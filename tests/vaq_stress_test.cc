@@ -34,6 +34,11 @@ TEST(VaqStressTest, KLargerThanCollection) {
   params.k = 500;  // > n
   params.mode = SearchMode::kHeap;
   std::vector<Neighbor> result;
+  // An over-sized k is caller error, reported instead of silently
+  // returning fewer neighbors than requested (or aborting).
+  const Status st = index->Search(base.row(0), params, &result);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  params.k = 50;  // == n is the largest valid request
   ASSERT_TRUE(index->Search(base.row(0), params, &result).ok());
   EXPECT_EQ(result.size(), 50u);
 }
