@@ -10,16 +10,22 @@
 //
 // Flags: --n=<base vectors> --queries=<count> --k=<neighbors>
 //        --clusters=<TI clusters> --visit=<visit %% of clusters, 0-100>
-//        --budget_json[=path]  write rows as JSON (default
-//                              BENCH_latency_budget.json)
+//        --budget_json[=path]   write rows as JSON (default
+//                               BENCH_latency_budget.json)
+//        --metrics_json[=path]  dump the global metrics registry as JSON
+//                               after the sweep (default BENCH_metrics.json)
+//        --metrics_prom[=path]  same, Prometheus text format (default
+//                               BENCH_metrics.prom)
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "common/deadline.h"
+#include "common/metrics.h"
 #include "core/vaq_index.h"
 #include "eval/metrics.h"
 
@@ -114,12 +120,22 @@ int main(int argc, char** argv) {
   const size_t visit_pct = FlagValue(argc, argv, "--visit", 25);
 
   std::string json_path;
+  std::string metrics_json_path;
+  std::string metrics_prom_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--budget_json") {
       json_path = "BENCH_latency_budget.json";
     } else if (arg.rfind("--budget_json=", 0) == 0) {
       json_path = arg.substr(std::string("--budget_json=").size());
+    } else if (arg == "--metrics_json") {
+      metrics_json_path = "BENCH_metrics.json";
+    } else if (arg.rfind("--metrics_json=", 0) == 0) {
+      metrics_json_path = arg.substr(std::string("--metrics_json=").size());
+    } else if (arg == "--metrics_prom") {
+      metrics_prom_path = "BENCH_metrics.prom";
+    } else if (arg.rfind("--metrics_prom=", 0) == 0) {
+      metrics_prom_path = arg.substr(std::string("--metrics_prom=").size());
     }
   }
 
@@ -168,5 +184,19 @@ int main(int argc, char** argv) {
   }
 
   if (!json_path.empty()) WriteJson(json_path, w, rows);
+
+  // The whole sweep fed the process-wide registry (build stages, query
+  // histograms, outcome counters); dump it for scrapers and the CI
+  // exposition-format check.
+  if (!metrics_json_path.empty()) {
+    std::ofstream os(metrics_json_path);
+    DumpMetrics(os, MetricsFormat::kJson);
+    std::printf("wrote %s\n", metrics_json_path.c_str());
+  }
+  if (!metrics_prom_path.empty()) {
+    std::ofstream os(metrics_prom_path);
+    DumpMetrics(os, MetricsFormat::kPrometheus);
+    std::printf("wrote %s\n", metrics_prom_path.c_str());
+  }
   return 0;
 }

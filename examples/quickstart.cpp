@@ -6,7 +6,9 @@
 //   ./build/examples/quickstart
 
 #include <cstdio>
+#include <iostream>
 
+#include "common/metrics.h"
 #include "core/vaq_index.h"
 #include "datasets/synthetic.h"
 #include "eval/ground_truth.h"
@@ -95,5 +97,12 @@ int main() {
   }
   std::printf("ample budget: truncated=%d, %zu results\n",
               bounded_stats.truncated ? 1 : 0, result.size());
+
+  // 6. Runtime telemetry: everything above (the build stages, every query,
+  //    the deadline outcomes) fed the process-wide metrics registry. A
+  //    server would expose this dump on a /metrics endpoint; JSON output
+  //    is available via MetricsFormat::kJson.
+  std::printf("\n--- runtime metrics (Prometheus text format) ---\n");
+  DumpMetrics(std::cout, MetricsFormat::kPrometheus);
   return 0;
 }

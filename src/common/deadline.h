@@ -157,6 +157,8 @@ class StopController {
   StopCause cause_ = StopCause::kNone;
 };
 
+class QueryTrace;  // common/trace.h
+
 /// Execution-control knobs shared by every search entry point that does
 /// not take a full SearchParams (VaqIvfIndex and batch drivers).
 struct QueryControl {
@@ -166,6 +168,9 @@ struct QueryControl {
   /// top-k with SearchStats::truncated set. Strict mode instead fails the
   /// query with StatusCode::kDeadlineExceeded and returns no results.
   bool strict_deadline = false;
+  /// Optional phase-timing sink (common/trace.h); nullptr = no tracing.
+  /// Not owned; must outlive the query.
+  QueryTrace* trace = nullptr;
 };
 
 }  // namespace vaq

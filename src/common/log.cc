@@ -1,0 +1,82 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vaq {
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<LogSinkFn> g_sink{nullptr};
+
+void EmitLine(LogLevel level, const char* message) {
+  LogSinkFn sink = g_sink.load(std::memory_order_acquire);
+  if (sink != nullptr) {
+    sink(level, message);
+    return;
+  }
+  std::fprintf(stderr, "%s\n", message);
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARNING";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void SetLogSinkForTesting(LogSinkFn sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+bool LogLevelEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         g_min_level.load(std::memory_order_relaxed);
+}
+
+void Logf(LogLevel level, const char* file, int line, const char* fmt, ...) {
+  char body[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(body, sizeof(body), fmt, args);
+  va_end(args);
+
+  // Basename only: full build paths add noise without aiding navigation.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  char message[1200];
+  std::snprintf(message, sizeof(message), "[%s %s:%d] %s",
+                LogLevelName(level), base, line, body);
+  EmitLine(level, message);
+}
+
+/// Declared in macros.h; VAQ_CHECK routes here so check failures share
+/// the leveled sink (and therefore show up in captured test logs) before
+/// taking the process down.
+[[noreturn]] void FatalCheckFailure(const char* cond, const char* file,
+                                    int line) {
+  Logf(LogLevel::kError, file, line, "VAQ_CHECK failed: %s", cond);
+  std::abort();
+}
+
+}  // namespace vaq

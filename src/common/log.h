@@ -1,0 +1,53 @@
+#ifndef VAQ_COMMON_LOG_H_
+#define VAQ_COMMON_LOG_H_
+
+/// Minimal leveled logging facility (DESIGN.md §10). One process-wide
+/// severity threshold, printf-style formatting, and a replaceable sink so
+/// tests can capture output instead of scraping stderr. This is the
+/// single funnel for all diagnostic output: the slow-query log, build
+/// reports, and VAQ_CHECK failures (macros.h) all route through it.
+
+#include <cstdarg>
+
+namespace vaq {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+const char* LogLevelName(LogLevel level);
+
+/// Messages below this severity are dropped before formatting. Default
+/// kInfo, so kDebug diagnostics (e.g. per-stage build reports) are free
+/// in production unless explicitly enabled.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+/// Cheap pre-format gate for the VAQ_LOG macro: one relaxed atomic load.
+bool LogLevelEnabled(LogLevel level);
+
+/// Replaces the stderr sink (nullptr restores it). The sink receives the
+/// fully formatted single-line message without the trailing newline.
+using LogSinkFn = void (*)(LogLevel level, const char* message);
+void SetLogSinkForTesting(LogSinkFn sink);
+
+/// Formats and emits one message; called through VAQ_LOG, which has
+/// already checked the level. Messages are truncated at 1 KiB.
+void Logf(LogLevel level, const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+}  // namespace vaq
+
+/// Leveled logging: VAQ_LOG(LogLevel::kWarning, "shed %zu queries", n).
+/// The level check happens before any argument is evaluated.
+#define VAQ_LOG(level, ...)                                       \
+  do {                                                            \
+    if (::vaq::LogLevelEnabled(level)) {                          \
+      ::vaq::Logf(level, __FILE__, __LINE__, __VA_ARGS__);        \
+    }                                                             \
+  } while (0)
+
+#endif  // VAQ_COMMON_LOG_H_

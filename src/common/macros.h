@@ -1,18 +1,20 @@
 #ifndef VAQ_COMMON_MACROS_H_
 #define VAQ_COMMON_MACROS_H_
 
-#include <cstdio>
-#include <cstdlib>
+namespace vaq {
+/// Defined in log.cc: emits the failure through the leveled logging sink
+/// (so tests and servers capture it), then aborts.
+[[noreturn]] void FatalCheckFailure(const char* cond, const char* file,
+                                    int line);
+}  // namespace vaq
 
 /// Fatal check for invariants that indicate programmer error. Active in all
 /// build modes; failure aborts with the failing condition and location.
-#define VAQ_CHECK(cond)                                                      \
-  do {                                                                       \
-    if (!(cond)) {                                                           \
-      std::fprintf(stderr, "VAQ_CHECK failed: %s at %s:%d\n", #cond,         \
-                   __FILE__, __LINE__);                                      \
-      std::abort();                                                          \
-    }                                                                        \
+#define VAQ_CHECK(cond)                                               \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::vaq::FatalCheckFailure(#cond, __FILE__, __LINE__);            \
+    }                                                                 \
   } while (0)
 
 #ifndef NDEBUG

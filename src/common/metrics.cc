@@ -1,0 +1,259 @@
+#include "common/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/thread_pool.h"
+
+namespace vaq {
+namespace {
+
+/// Doubles in exposition output: integral values print without a decimal
+/// point (golden-friendly), everything else as shortest-roundtrip %.17g.
+std::string FormatDouble(double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+std::string FormatBucketBound(size_t i) {
+  if (i + 1 == Histogram::kNumBuckets) return "+Inf";
+  return FormatDouble(Histogram::BucketUpperBound(i));
+}
+
+}  // namespace
+
+double Histogram::BucketUpperBound(size_t i) {
+  if (i + 1 >= kNumBuckets) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::ldexp(1.0, static_cast<int>(i));  // 2^i
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(
+    const std::string& name, Kind kind, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    // Same name, different metric type = two call sites disagree about
+    // what the metric means; that is a bug, not a runtime condition.
+    VAQ_CHECK(it->second.kind == kind);
+    return &it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  entry.help = help;
+  switch (kind) {
+    case Kind::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      entry.histogram = std::make_unique<Histogram>();
+      break;
+    case Kind::kCallbackGauge:
+    case Kind::kCallbackCounter:
+      break;
+  }
+  return &entries_.emplace(name, std::move(entry)).first->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  return FindOrCreate(name, Kind::kCounter, help)->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  return FindOrCreate(name, Kind::kGauge, help)->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help) {
+  return FindOrCreate(name, Kind::kHistogram, help)->histogram.get();
+}
+
+void MetricsRegistry::RegisterCallbackGauge(const std::string& name,
+                                            const std::string& help,
+                                            std::function<int64_t()> fn) {
+  Entry* entry = FindOrCreate(name, Kind::kCallbackGauge, help);
+  std::lock_guard<std::mutex> lock(mu_);
+  entry->gauge_fn = std::move(fn);
+}
+
+void MetricsRegistry::RegisterCallbackCounter(const std::string& name,
+                                              const std::string& help,
+                                              std::function<uint64_t()> fn) {
+  Entry* entry = FindOrCreate(name, Kind::kCallbackCounter, help);
+  std::lock_guard<std::mutex> lock(mu_);
+  entry->counter_fn = std::move(fn);
+}
+
+void MetricsRegistry::Dump(std::ostream& os, MetricsFormat format) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (format == MetricsFormat::kPrometheus) {
+    for (const auto& [name, entry] : entries_) {
+      os << "# HELP " << name << ' ' << entry.help << '\n';
+      switch (entry.kind) {
+        case Kind::kCounter:
+        case Kind::kCallbackCounter: {
+          const uint64_t v = entry.kind == Kind::kCounter
+                                 ? entry.counter->value()
+                                 : (entry.counter_fn ? entry.counter_fn() : 0);
+          os << "# TYPE " << name << " counter\n" << name << ' ' << v << '\n';
+          break;
+        }
+        case Kind::kGauge:
+        case Kind::kCallbackGauge: {
+          const int64_t v = entry.kind == Kind::kGauge
+                                ? entry.gauge->value()
+                                : (entry.gauge_fn ? entry.gauge_fn() : 0);
+          os << "# TYPE " << name << " gauge\n" << name << ' ' << v << '\n';
+          break;
+        }
+        case Kind::kHistogram: {
+          os << "# TYPE " << name << " histogram\n";
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+            cumulative += entry.histogram->BucketCount(i);
+            os << name << "_bucket{le=\"" << FormatBucketBound(i) << "\"} "
+               << cumulative << '\n';
+          }
+          os << name << "_sum " << FormatDouble(entry.histogram->Sum())
+             << '\n';
+          os << name << "_count " << entry.histogram->TotalCount() << '\n';
+          break;
+        }
+      }
+    }
+    return;
+  }
+
+  // JSON: three sorted sections so consumers can iterate by metric kind.
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.kind != Kind::kCounter && entry.kind != Kind::kCallbackCounter) {
+      continue;
+    }
+    const uint64_t v = entry.kind == Kind::kCounter
+                           ? entry.counter->value()
+                           : (entry.counter_fn ? entry.counter_fn() : 0);
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << v;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.kind != Kind::kGauge && entry.kind != Kind::kCallbackGauge) {
+      continue;
+    }
+    const int64_t v = entry.kind == Kind::kGauge
+                          ? entry.gauge->value()
+                          : (entry.gauge_fn ? entry.gauge_fn() : 0);
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << v;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.kind != Kind::kHistogram) continue;
+    os << (first ? "" : ",") << "\n    \"" << name << "\": {\"count\": "
+       << entry.histogram->TotalCount() << ", \"sum\": "
+       << FormatDouble(entry.histogram->Sum()) << ", \"buckets\": [";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      cumulative += entry.histogram->BucketCount(i);
+      const bool last = i + 1 == Histogram::kNumBuckets;
+      os << "{\"le\": " << (last ? "\"+Inf\"" : FormatBucketBound(i))
+         << ", \"count\": " << cumulative << '}' << (last ? "" : ", ");
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+void MetricsRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    (void)name;
+    if (entry.counter) entry.counter->value_.store(0);
+    if (entry.gauge) entry.gauge->value_.store(0);
+    if (entry.histogram) {
+      for (auto& b : entry.histogram->buckets_) b.store(0);
+      entry.histogram->count_.store(0);
+      entry.histogram->sum_.store(0.0);
+    }
+  }
+}
+
+namespace {
+
+/// Sampled-at-dump views of the serving infrastructure. Reading through
+/// SharedIfStarted keeps a metrics scrape from spinning up pool workers
+/// on an otherwise idle process.
+void RegisterProcessMetrics(MetricsRegistry* r) {
+  r->RegisterCallbackGauge(
+      "vaq_pool_queue_depth", "Tasks queued on the shared pool (not running)",
+      [] {
+        ThreadPool* pool = ThreadPool::SharedIfStarted();
+        return pool != nullptr ? static_cast<int64_t>(pool->queued()) : 0;
+      });
+  r->RegisterCallbackGauge(
+      "vaq_pool_threads", "Workers in the shared pool (0 = not started)",
+      [] {
+        ThreadPool* pool = ThreadPool::SharedIfStarted();
+        return pool != nullptr ? static_cast<int64_t>(pool->num_threads())
+                               : 0;
+      });
+  r->RegisterCallbackGauge(
+      "vaq_admission_in_flight",
+      "Queries currently admitted across all concurrent batches",
+      [] {
+        return static_cast<int64_t>(AdmissionController::Global().in_flight());
+      });
+  r->RegisterCallbackGauge(
+      "vaq_admission_max_in_flight", "Configured in-flight query cap",
+      [] {
+        return static_cast<int64_t>(
+            AdmissionController::Global().max_in_flight());
+      });
+  r->RegisterCallbackCounter(
+      "vaq_admission_admitted_batches_total",
+      "Batches that passed admission control",
+      [] { return AdmissionController::Global().admitted_batches(); });
+  r->RegisterCallbackCounter(
+      "vaq_admission_shed_batches_total",
+      "Batches rejected by admission control (kUnavailable)",
+      [] { return AdmissionController::Global().shed_batches(); });
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();  // leaked: metrics outlive static
+                                      // destructors (same policy as the
+                                      // shared ThreadPool)
+    RegisterProcessMetrics(r);
+    return r;
+  }();
+  return *registry;
+}
+
+void DumpMetrics(std::ostream& os, MetricsFormat format) {
+  MetricsRegistry::Global().Dump(os, format);
+}
+
+}  // namespace vaq

@@ -1,0 +1,215 @@
+#ifndef VAQ_COMMON_METRICS_H_
+#define VAQ_COMMON_METRICS_H_
+
+/// Process-wide metrics registry (DESIGN.md §10). Counters, gauges, and
+/// fixed-bucket log-scale histograms with lock-free update paths, safe
+/// for concurrent ThreadPool workers: updates are relaxed atomics; the
+/// registry mutex is touched only on first registration and at dump
+/// time. Exposition is Prometheus text or JSON via DumpMetrics.
+///
+/// Usage pattern at an instrumentation site (one registration, then
+/// lock-free forever):
+///
+///   static Counter* queries = MetricsRegistry::Global().GetCounter(
+///       "vaq_queries_total", "Queries answered");
+///   queries->Increment();
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace vaq {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (queue depth, in-flight work).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Increment(int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Decrement(int64_t n = 1) {
+    value_.fetch_sub(n, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket log-scale histogram: bucket i covers (2^(i-1), 2^i] with
+/// bucket 0 covering (-inf, 1] and the last bucket unbounded (+Inf).
+/// For microsecond latencies the span 1 us .. 2^26 us (~67 s) covers
+/// everything a bounded-latency search can produce; the layout is fixed
+/// so that every exporter and golden test agrees on the boundaries.
+class Histogram {
+ public:
+  /// 27 finite upper bounds (2^0 .. 2^26) plus the +Inf overflow bucket.
+  static constexpr size_t kNumBuckets = 28;
+
+  /// Index of the bucket that receives `value`.
+  static size_t BucketIndex(double value) {
+    size_t i = 0;
+    double bound = 1.0;
+    while (i + 1 < kNumBuckets && value > bound) {
+      bound *= 2.0;
+      ++i;
+    }
+    return i;
+  }
+
+  /// Upper bound of bucket i; +infinity for the last bucket.
+  static double BucketUpperBound(size_t i);
+
+  void Observe(double value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // CAS loop instead of C++20 atomic<double>::fetch_add for toolchain
+    // portability; contention is one slot per process-wide histogram.
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t TotalCount() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+enum class MetricsFormat {
+  kPrometheus,  ///< text exposition format 0.0.4
+  kJson         ///< {"counters": {...}, "gauges": {...}, "histograms": {...}}
+};
+
+/// Name-keyed metric store. Get* calls are get-or-create and return
+/// pointers that stay valid for the registry's lifetime, so call sites
+/// cache them in static locals and never touch the mutex again.
+/// Requesting an existing name with a different metric type is a
+/// programmer error and aborts.
+///
+/// Callback metrics are sampled at dump time — the way to surface
+/// counters/gauges whose source of truth lives elsewhere (ThreadPool
+/// queue depth, AdmissionController in-flight count) without making
+/// those components push on every change.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide registry; pool/admission callback gauges are registered
+  /// on first access.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name, const std::string& help);
+  Gauge* GetGauge(const std::string& name, const std::string& help);
+  Histogram* GetHistogram(const std::string& name, const std::string& help);
+
+  /// Re-registering a callback name replaces the previous callback.
+  void RegisterCallbackGauge(const std::string& name, const std::string& help,
+                             std::function<int64_t()> fn);
+  void RegisterCallbackCounter(const std::string& name,
+                               const std::string& help,
+                               std::function<uint64_t()> fn);
+
+  /// Serializes every registered metric, names sorted, to `os`.
+  void Dump(std::ostream& os, MetricsFormat format) const;
+
+  /// Zeroes every owned counter/gauge/histogram (callbacks are left
+  /// registered — their sources are external). Tests only.
+  void ResetForTesting();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram, kCallbackGauge,
+                    kCallbackCounter };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<int64_t()> gauge_fn;
+    std::function<uint64_t()> counter_fn;
+  };
+
+  Entry* FindOrCreate(const std::string& name, Kind kind,
+                      const std::string& help);
+
+  mutable std::mutex mu_;
+  // std::map keeps exposition output sorted and therefore deterministic
+  // for golden-string tests.
+  std::map<std::string, Entry> entries_;
+};
+
+/// Dumps the global registry — the exposition entry point benches,
+/// examples, and servers wire to their "/metrics" surface.
+void DumpMetrics(std::ostream& os, MetricsFormat format);
+
+/// Scoped build-stage timer: on destruction adds the stage's elapsed
+/// wall time in integer microseconds to `counter` and, when `out_micros`
+/// is non-null, also stores the elapsed microseconds there (for build
+/// reports that log a per-stage summary).
+class StageTimer {
+ public:
+  explicit StageTimer(Counter* counter, double* out_micros = nullptr)
+      : counter_(counter), out_micros_(out_micros),
+        start_(std::chrono::steady_clock::now()) {}
+  ~StageTimer() { Stop(); }
+
+  /// Ends the stage early (idempotent); useful when the next stage starts
+  /// in the same scope.
+  void Stop() {
+    if (stopped_) return;
+    stopped_ = true;
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+    if (counter_ != nullptr) {
+      counter_->Increment(static_cast<uint64_t>(us));
+    }
+    if (out_micros_ != nullptr) *out_micros_ = us;
+  }
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  Counter* counter_;
+  double* out_micros_;
+  bool stopped_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace vaq
+
+#endif  // VAQ_COMMON_METRICS_H_

@@ -80,11 +80,25 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+namespace {
+// Published once Shared() constructs the pool; lets SharedIfStarted()
+// observe it without triggering construction.
+std::atomic<ThreadPool*> g_shared_pool{nullptr};
+}  // namespace
+
 ThreadPool& ThreadPool::Shared() {
-  static ThreadPool* pool = new ThreadPool();  // intentionally leaked:
-  // pool workers may still be draining when static destructors run, and
-  // joining them at exit can deadlock against user atexit handlers.
+  static ThreadPool* pool = [] {
+    auto* p = new ThreadPool();  // intentionally leaked: pool workers may
+    // still be draining when static destructors run, and joining them at
+    // exit can deadlock against user atexit handlers.
+    g_shared_pool.store(p, std::memory_order_release);
+    return p;
+  }();
   return *pool;
+}
+
+ThreadPool* ThreadPool::SharedIfStarted() {
+  return g_shared_pool.load(std::memory_order_acquire);
 }
 
 AdmissionController& AdmissionController::Global() {

@@ -58,6 +58,11 @@ class ThreadPool {
   /// use with hardware-concurrency workers.
   static ThreadPool& Shared();
 
+  /// The shared pool if Shared() has been called, else nullptr. Metrics
+  /// callbacks use this so a scrape never spins up pool workers on an
+  /// idle process.
+  static ThreadPool* SharedIfStarted();
+
  private:
   void WorkerLoop();
 
@@ -147,11 +152,14 @@ class AdmissionController {
     size_t current = in_flight_.load(std::memory_order_relaxed);
     const size_t cap = max_in_flight_.load(std::memory_order_relaxed);
     do {
-      if (num_queries > cap || current > cap - num_queries) return Ticket();
+      if (num_queries > cap || current > cap - num_queries) {
+        shed_batches_.fetch_add(1, std::memory_order_relaxed);
+        return Ticket();
+      }
     } while (!in_flight_.compare_exchange_weak(current,
                                                current + num_queries,
                                                std::memory_order_acq_rel));
-    ++admitted_batches_;
+    admitted_batches_.fetch_add(1, std::memory_order_relaxed);
     return Ticket(this, num_queries);
   }
 
@@ -167,6 +175,14 @@ class AdmissionController {
     max_in_flight_.store(cap, std::memory_order_relaxed);
   }
 
+  /// Lifetime totals, exported as registry callback counters.
+  uint64_t admitted_batches() const {
+    return admitted_batches_.load(std::memory_order_relaxed);
+  }
+  uint64_t shed_batches() const {
+    return shed_batches_.load(std::memory_order_relaxed);
+  }
+
   /// Controller consulted by VaqIndex/VaqIvfIndex batch entry points.
   static AdmissionController& Global();
 
@@ -180,6 +196,7 @@ class AdmissionController {
   std::atomic<size_t> in_flight_{0};
   std::atomic<size_t> max_in_flight_;
   std::atomic<uint64_t> admitted_batches_{0};
+  std::atomic<uint64_t> shed_batches_{0};
 };
 
 }  // namespace vaq

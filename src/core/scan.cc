@@ -6,7 +6,10 @@
 #include <cstring>
 
 #include "common/cpu_features.h"
+#include "common/log.h"
 #include "common/macros.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace vaq {
 
@@ -200,11 +203,16 @@ void BlockedEaScan(const BlockedCodes& bc, size_t row_begin, size_t row_end,
 
 Status FinalizeSearchResult(const StopController* stop, bool strict_deadline,
                             TopKHeap* heap, std::vector<Neighbor>* out,
-                            SearchStats* stats, double wall_micros) {
+                            SearchStats* stats, double wall_micros,
+                            double cpu_micros) {
   const bool stopped = stop != nullptr && stop->stopped();
   if (stats != nullptr) {
     stats->truncated = stopped;
     stats->wall_micros = wall_micros;
+    stats->cpu_micros = cpu_micros;
+    // A scan can never enter more partitions than it planned to visit
+    // (see SearchStats): drivers stamp the plan before the first block.
+    VAQ_CHECK(stats->partitions_visited <= stats->clusters_visited);
   }
   if (stopped && stop->cause() == StopCause::kCancelled) {
     out->clear();
@@ -220,6 +228,87 @@ Status FinalizeSearchResult(const StopController* stop, bool strict_deadline,
     nb.distance = std::sqrt(std::max(0.f, nb.distance));
   }
   return Status::OK();
+}
+
+void RecordQueryTelemetry(const SearchStats& before, const SearchStats& after,
+                          const Status& status, const QueryTrace* trace) {
+  // All metric pointers are resolved once per process; afterwards this
+  // function is registry-mutex-free and allocation-free (relaxed atomic
+  // adds only), which the zero-alloc scan tests rely on.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  static Counter* queries = reg.GetCounter(
+      "vaq_queries_total", "Queries answered (any outcome)");
+  static Counter* failed = reg.GetCounter(
+      "vaq_queries_failed_total", "Queries that returned a non-OK status");
+  static Counter* truncated = reg.GetCounter(
+      "vaq_queries_truncated_total",
+      "Queries degraded to best-so-far results by an expired deadline");
+  static Counter* deadline_exceeded = reg.GetCounter(
+      "vaq_queries_deadline_exceeded_total",
+      "Strict-deadline queries failed with kDeadlineExceeded");
+  static Counter* cancelled = reg.GetCounter(
+      "vaq_queries_cancelled_total", "Queries failed with kCancelled");
+  static Counter* rows_scanned = reg.GetCounter(
+      "vaq_scan_rows_scanned_total", "Rows fully accumulated by ADC scans");
+  static Counter* lut_adds = reg.GetCounter(
+      "vaq_scan_lut_adds_total", "Lookup-table additions performed");
+  static Counter* codes_skipped = reg.GetCounter(
+      "vaq_scan_codes_skipped_ti_total",
+      "Codes pruned by the triangle inequality");
+  static Counter* codes_visited = reg.GetCounter(
+      "vaq_scan_codes_visited_total",
+      "Codes whose distance accumulation began");
+  static Counter* partitions_visited = reg.GetCounter(
+      "vaq_scan_partitions_visited_total",
+      "TI clusters / IVF cells entered by scans");
+  static Histogram* wall_us = reg.GetHistogram(
+      "vaq_query_wall_us", "Per-query wall time in microseconds");
+  static Histogram* cpu_us = reg.GetHistogram(
+      "vaq_query_cpu_us", "Per-query thread CPU time in microseconds");
+
+  queries->Increment();
+  if (!status.ok()) failed->Increment();
+  if (status.ok() && after.truncated) truncated->Increment();
+  if (status.code() == StatusCode::kDeadlineExceeded) {
+    deadline_exceeded->Increment();
+  }
+  if (status.code() == StatusCode::kCancelled) cancelled->Increment();
+
+  // Work counters accumulate across queries on a reused SearchStats, so
+  // feed the delta. wall/cpu are assigned per query and used as-is.
+  rows_scanned->Increment(after.rows_scanned - before.rows_scanned);
+  lut_adds->Increment(after.lut_adds - before.lut_adds);
+  codes_skipped->Increment(after.codes_skipped_ti - before.codes_skipped_ti);
+  codes_visited->Increment(after.codes_visited - before.codes_visited);
+  partitions_visited->Increment(after.partitions_visited -
+                                before.partitions_visited);
+  wall_us->Observe(after.wall_micros);
+  cpu_us->Observe(after.cpu_micros);
+
+  const double slow_threshold = SlowQueryLogThresholdMicros();
+  if (slow_threshold > 0.0 && after.wall_micros > slow_threshold &&
+      ShouldLogSlowQuery()) {
+    static Counter* slow_logged = reg.GetCounter(
+        "vaq_slow_queries_logged_total",
+        "Slow queries that were sampled into the log");
+    slow_logged->Increment();
+    if (trace != nullptr && trace->enabled()) {
+      VAQ_LOG(LogLevel::kWarning,
+              "slow query: wall=%.1fus cpu=%.1fus rows=%zu truncated=%d "
+              "status=%d trace: %s",
+              after.wall_micros, after.cpu_micros,
+              after.rows_scanned - before.rows_scanned,
+              after.truncated ? 1 : 0, static_cast<int>(status.code()),
+              trace->Format().c_str());
+    } else {
+      VAQ_LOG(LogLevel::kWarning,
+              "slow query: wall=%.1fus cpu=%.1fus rows=%zu truncated=%d "
+              "status=%d (tracing off)",
+              after.wall_micros, after.cpu_micros,
+              after.rows_scanned - before.rows_scanned,
+              after.truncated ? 1 : 0, static_cast<int>(status.code()));
+    }
+  }
 }
 
 }  // namespace vaq

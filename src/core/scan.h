@@ -24,16 +24,27 @@ struct SearchStats {
   size_t codes_visited = 0;      ///< codes whose distance accumulation began
   size_t codes_skipped_ti = 0;   ///< codes pruned by the triangle inequality
   size_t lut_adds = 0;           ///< lookup-table additions performed
-  size_t clusters_visited = 0;   ///< partitions the query *planned* to visit
-  size_t clusters_total = 0;
 
-  // Degradation report (DESIGN.md §9). With no deadline or cancellation
-  // these describe the same complete execution as the counters above.
+  // Planned work, stamped once at query planning time (assignment, not
+  // accumulation): how many partitions the pruning policy *selected* for
+  // this query, out of how many the index has.
+  size_t clusters_visited = 0;   ///< partitions the query planned to visit
+  size_t clusters_total = 0;     ///< partitions in the index
+
+  // Degradation report (DESIGN.md §9): work *actually performed*,
+  // accumulated as the scan runs. `partitions_visited` counts partitions
+  // the scan entered, so it trails `clusters_visited` while a query runs
+  // and equals it only for a query that was never stopped. The invariant
+  // partitions_visited <= clusters_visited is checked in
+  // FinalizeSearchResult. Both pairs stay because they answer different
+  // questions: planned-vs-total is pruning power, entered-vs-planned is
+  // deadline progress.
   bool truncated = false;         ///< stopped before the planned work finished
   size_t rows_scanned = 0;        ///< rows whose full distance was accumulated
   size_t partitions_visited = 0;  ///< TI clusters / IVF cells actually entered
   size_t partitions_total = 0;    ///< partitions in the index (0 = flat scan)
   double wall_micros = 0.0;       ///< wall time of the Search() call
+  double cpu_micros = 0.0;        ///< thread CPU time of the Search() call
 
   void Reset() { *this = SearchStats{}; }
 };
@@ -171,7 +182,18 @@ void BlockedEaScan(const BlockedCodes& bc, size_t row_begin, size_t row_end,
 /// degrades gracefully: OK status, partial results, stats->truncated.
 Status FinalizeSearchResult(const StopController* stop, bool strict_deadline,
                             TopKHeap* heap, std::vector<Neighbor>* out,
-                            SearchStats* stats, double wall_micros);
+                            SearchStats* stats, double wall_micros,
+                            double cpu_micros = 0.0);
+
+/// Feeds one finished query into the global metrics registry
+/// (DESIGN.md §10): outcome counters, latency histograms (wall + CPU),
+/// and scan-work counters computed as `after - before` so callers that
+/// reuse a SearchStats across queries never double-count. Also emits the
+/// sampled slow-query log line (common/trace.h) when configured. Called
+/// once per query by the index drivers, after FinalizeSearchResult;
+/// deliberately outside the scan loops so the hot path is untouched.
+void RecordQueryTelemetry(const SearchStats& before, const SearchStats& after,
+                          const Status& status, const QueryTrace* trace);
 
 }  // namespace vaq
 

@@ -7,6 +7,8 @@
 #include <thread>
 
 #include "common/io.h"
+#include "common/log.h"
+#include "common/metrics.h"
 #include "common/serialize.h"
 #include "common/timer.h"
 #include "core/allocation.h"
@@ -60,34 +62,55 @@ Result<VaqIndex> VaqIndex::Train(const FloatMatrix& data,
   VaqIndex index;
   index.options_ = options;
 
+  // Per-stage build accounting (DESIGN.md §10): cumulative registry
+  // counters plus a kDebug build report at the end. Training is cold
+  // path; the StageTimer scopes cost two clock reads per stage.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  double pca_us = 0.0, subspace_us = 0.0, alloc_us = 0.0, book_us = 0.0,
+         encode_us = 0.0, ti_us = 0.0, scan_us = 0.0;
+
   // Step 1 (Algorithm 1, VarPCA): eigen-decomposition of the covariance;
   // dimensions become PCs sorted by descending variance.
-  Pca::Options pca_opts;
-  pca_opts.center = options.center_pca;
-  VAQ_RETURN_IF_ERROR(index.pca_.Fit(data, pca_opts));
+  {
+    StageTimer st(reg.GetCounter("vaq_build_pca_us_total",
+                                 "Cumulative PCA fit wall time (us)"),
+                  &pca_us);
+    Pca::Options pca_opts;
+    pca_opts.center = options.center_pca;
+    VAQ_RETURN_IF_ERROR(index.pca_.Fit(data, pca_opts));
+  }
   const std::vector<double> variances = index.pca_.ExplainedVarianceRatio();
 
-  // Step 2 (Section III-B): subspace construction + ordering repair.
+  // Steps 2-3 (Section III-B, Algorithm 2 lines 2-9): subspace
+  // construction + ordering repair, then partial importance balancing.
   const size_t m = options.num_subspaces;
   SubspaceLayout layout;
-  if (options.clustered_subspaces) {
-    VAQ_ASSIGN_OR_RETURN(layout, SubspaceLayout::Clustered(variances, m));
-    VAQ_RETURN_IF_ERROR(layout.RepairOrdering(variances));
-  } else {
-    VAQ_ASSIGN_OR_RETURN(layout, SubspaceLayout::Uniform(data.cols(), m));
+  {
+    StageTimer st(
+        reg.GetCounter("vaq_build_subspace_us_total",
+                       "Cumulative subspace grouping/balancing time (us)"),
+        &subspace_us);
+    if (options.clustered_subspaces) {
+      VAQ_ASSIGN_OR_RETURN(layout, SubspaceLayout::Clustered(variances, m));
+      VAQ_RETURN_IF_ERROR(layout.RepairOrdering(variances));
+    } else {
+      VAQ_ASSIGN_OR_RETURN(layout, SubspaceLayout::Uniform(data.cols(), m));
+    }
+    BalanceResult balance = options.partial_balance
+                                ? PartialBalance(variances, layout)
+                                : IdentityBalance(variances);
+    index.permutation_ = balance.permutation;
+    index.balance_swaps_ = balance.num_swaps;
+    index.layout_ = layout;
+    index.subspace_variances_ =
+        layout.SubspaceVariances(balance.permuted_variances);
   }
 
-  // Step 3 (Algorithm 2 lines 2-9): partial importance balancing.
-  BalanceResult balance = options.partial_balance
-                              ? PartialBalance(variances, layout)
-                              : IdentityBalance(variances);
-  index.permutation_ = balance.permutation;
-  index.balance_swaps_ = balance.num_swaps;
-  index.layout_ = layout;
-
   // Step 4 (Algorithm 2 lines 10-18): adaptive bit allocation.
-  index.subspace_variances_ =
-      layout.SubspaceVariances(balance.permuted_variances);
+  StageTimer alloc_timer(
+      reg.GetCounter("vaq_build_allocation_us_total",
+                     "Cumulative bit-allocation (MILP) time (us)"),
+      &alloc_us);
   if (options.adaptive_allocation) {
     AllocationOptions aopts;
     aopts.total_bits = options.total_bits;
@@ -124,43 +147,76 @@ Result<VaqIndex> VaqIndex::Train(const FloatMatrix& data,
     }
   }
 
+  alloc_timer.Stop();
+
   // Step 5 (Algorithm 3): project, permute, train variable dictionaries,
   // encode.
-  VAQ_ASSIGN_OR_RETURN(FloatMatrix projected, index.pca_.Transform(data));
-  projected = projected.PermuteColumns(index.permutation_);
+  FloatMatrix projected;
+  {
+    StageTimer st(
+        reg.GetCounter("vaq_build_codebook_us_total",
+                       "Cumulative codebook training time (us)"),
+        &book_us);
+    VAQ_ASSIGN_OR_RETURN(projected, index.pca_.Transform(data));
+    projected = projected.PermuteColumns(index.permutation_);
 
-  CodebookOptions copts;
-  copts.kmeans_iters = options.kmeans_iters;
-  copts.seed = options.seed;
-  VAQ_RETURN_IF_ERROR(
-      index.books_.Train(projected, layout, index.bits_, copts));
-  VAQ_ASSIGN_OR_RETURN(index.codes_,
-                       index.books_.Encode(projected, options.train_threads));
+    CodebookOptions copts;
+    copts.kmeans_iters = options.kmeans_iters;
+    copts.seed = options.seed;
+    VAQ_RETURN_IF_ERROR(
+        index.books_.Train(projected, layout, index.bits_, copts));
+  }
+  {
+    StageTimer st(reg.GetCounter("vaq_build_encode_us_total",
+                                 "Cumulative database encoding time (us)"),
+                  &encode_us);
+    VAQ_ASSIGN_OR_RETURN(
+        index.codes_, index.books_.Encode(projected, options.train_threads));
+  }
 
   // Step 6 (Algorithm 3 lines 24-48): TI partition for data skipping.
-  TiPartitionOptions topts;
-  topts.num_clusters = options.ti_clusters;
-  topts.num_threads = options.train_threads;
-  topts.seed = options.seed ^ 0x7153A9F2ULL;
-  if (options.ti_prefix_subspaces > 0) {
-    topts.prefix_subspaces = options.ti_prefix_subspaces;
-  } else {
-    // Auto: smallest prefix explaining >= 90% of the variance.
-    double acc = 0.0;
-    const double total = std::accumulate(index.subspace_variances_.begin(),
-                                         index.subspace_variances_.end(), 0.0);
-    size_t prefix = m;
-    for (size_t s = 0; s < m; ++s) {
-      acc += index.subspace_variances_[s];
-      if (total > 0.0 && acc >= 0.9 * total) {
-        prefix = s + 1;
-        break;
+  {
+    StageTimer st(reg.GetCounter("vaq_build_ti_us_total",
+                                 "Cumulative TI partition build time (us)"),
+                  &ti_us);
+    TiPartitionOptions topts;
+    topts.num_clusters = options.ti_clusters;
+    topts.num_threads = options.train_threads;
+    topts.seed = options.seed ^ 0x7153A9F2ULL;
+    if (options.ti_prefix_subspaces > 0) {
+      topts.prefix_subspaces = options.ti_prefix_subspaces;
+    } else {
+      // Auto: smallest prefix explaining >= 90% of the variance.
+      double acc = 0.0;
+      const double total =
+          std::accumulate(index.subspace_variances_.begin(),
+                          index.subspace_variances_.end(), 0.0);
+      size_t prefix = m;
+      for (size_t s = 0; s < m; ++s) {
+        acc += index.subspace_variances_[s];
+        if (total > 0.0 && acc >= 0.9 * total) {
+          prefix = s + 1;
+          break;
+        }
       }
+      topts.prefix_subspaces = prefix;
     }
-    topts.prefix_subspaces = prefix;
+    VAQ_RETURN_IF_ERROR(index.ti_.Build(index.codes_, index.books_, topts));
   }
-  VAQ_RETURN_IF_ERROR(index.ti_.Build(index.codes_, index.books_, topts));
-  index.BuildScanStructures();
+  {
+    StageTimer st(
+        reg.GetCounter("vaq_build_scan_layout_us_total",
+                       "Cumulative blocked scan-layout build time (us)"),
+        &scan_us);
+    index.BuildScanStructures();
+  }
+  reg.GetCounter("vaq_builds_total", "Index builds completed")->Increment();
+  VAQ_LOG(LogLevel::kDebug,
+          "VaqIndex build report: n=%zu d=%zu m=%zu pca=%.0fus "
+          "subspace=%.0fus allocation=%.0fus codebook=%.0fus encode=%.0fus "
+          "ti=%.0fus scan_layout=%.0fus",
+          data.rows(), data.cols(), m, pca_us, subspace_us, alloc_us, book_us,
+          encode_us, ti_us, scan_us);
   return index;
 }
 
@@ -224,8 +280,12 @@ void VaqIndex::SearchProjectedReference(const float* projected,
                                         SearchScratch* scratch,
                                         TopKHeap* heap, SearchStats* stats,
                                         StopController* stop) const {
+  QueryTrace* trace = params.trace;
   std::vector<float>& lut = scratch->lut;
-  books_.BuildLookupTable(projected, &lut);
+  {
+    TraceSpan span(trace, QueryPhase::kLutBuild);
+    books_.BuildLookupTable(projected, &lut);
+  }
 
   const size_t m = num_subspaces();
   const size_t s_limit = params.num_subspaces_used == 0
@@ -239,6 +299,7 @@ void VaqIndex::SearchProjectedReference(const float* projected,
   const size_t interval = std::max<size_t>(1, params.ea_check_interval);
   const size_t n = codes_.rows();
   if (mode == SearchMode::kHeap) {
+    TraceSpan span(trace, QueryPhase::kBlockScan);
     for (size_t r = 0; r < n; ++r) {
       // Same check granularity as the blocked kernels: every 64 rows.
       if (stop != nullptr && r % kScanBlockSize == 0 && stop->ShouldStop()) {
@@ -260,6 +321,7 @@ void VaqIndex::SearchProjectedReference(const float* projected,
   }
 
   if (mode == SearchMode::kEarlyAbandon) {
+    TraceSpan span(trace, QueryPhase::kBlockScan);
     for (size_t r = 0; r < n; ++r) {
       if (stop != nullptr && r % kScanBlockSize == 0 && stop->ShouldStop()) {
         return;
@@ -275,6 +337,7 @@ void VaqIndex::SearchProjectedReference(const float* projected,
   }
 
   // Triangle inequality cascade (Algorithm 4).
+  TraceSpan rank_span(trace, QueryPhase::kPartitionRank);
   std::vector<float>& query_to_cluster = scratch->query_to_cluster;
   ti_.QueryDistances(projected, &query_to_cluster);
   std::vector<size_t>& order = scratch->order;
@@ -287,12 +350,15 @@ void VaqIndex::SearchProjectedReference(const float* projected,
       static_cast<size_t>(std::ceil(params.visit_fraction *
                                     static_cast<double>(order.size()))),
       1, order.size());
+  rank_span.Stop();
   if (stats != nullptr) {
     stats->clusters_total = order.size();
     stats->clusters_visited = visit;
     stats->partitions_total = order.size();
+    stats->partitions_visited = 0;  // plan stamped; nothing entered yet
   }
 
+  TraceSpan scan_span(trace, QueryPhase::kBlockScan);
   for (size_t v = 0; v < visit; ++v) {
     if (stop != nullptr && stop->ShouldStop()) return;
     if (stats != nullptr) ++stats->partitions_visited;
@@ -363,8 +429,12 @@ void VaqIndex::SearchProjected(const float* projected,
   }
   const ScanKernel& kernel = GetScanKernel(params.kernel);
 
+  QueryTrace* trace = params.trace;
   std::vector<float>& lut = scratch->lut;
-  books_.BuildLookupTable(projected, &lut);
+  {
+    TraceSpan span(trace, QueryPhase::kLutBuild);
+    books_.BuildLookupTable(projected, &lut);
+  }
 
   const size_t m = num_subspaces();
   const size_t s_limit = params.num_subspaces_used == 0
@@ -377,12 +447,14 @@ void VaqIndex::SearchProjected(const float* projected,
   const size_t interval = std::max<size_t>(1, params.ea_check_interval);
 
   if (mode == SearchMode::kHeap) {
+    TraceSpan span(trace, QueryPhase::kBlockScan);
     BlockedFullScan(blocked_, nullptr, lut.data(), lut_offsets32_.data(),
                     s_limit, kernel, scratch->acc, heap, stats, stop);
     return;
   }
 
   if (mode == SearchMode::kEarlyAbandon) {
+    TraceSpan span(trace, QueryPhase::kBlockScan);
     BlockedEaScan(blocked_, 0, blocked_.rows(), nullptr, lut.data(),
                   lut_offsets32_.data(), s_limit, interval, kernel,
                   scratch->acc, heap, stats, stop);
@@ -393,6 +465,7 @@ void VaqIndex::SearchProjected(const float* projected,
   // ranked as in the reference, and within a cluster the sorted cached
   // distances bound a candidate window that is re-tightened from the live
   // threshold before each block rather than before each row.
+  TraceSpan rank_span(trace, QueryPhase::kPartitionRank);
   std::vector<float>& query_to_cluster = scratch->query_to_cluster;
   ti_.QueryDistances(projected, &query_to_cluster);
   std::vector<size_t>& order = scratch->order;
@@ -405,10 +478,12 @@ void VaqIndex::SearchProjected(const float* projected,
       static_cast<size_t>(std::ceil(params.visit_fraction *
                                     static_cast<double>(order.size()))),
       1, order.size());
+  rank_span.Stop();
   if (stats != nullptr) {
     stats->clusters_total = order.size();
     stats->clusters_visited = visit;
     stats->partitions_total = order.size();
+    stats->partitions_visited = 0;  // plan stamped; nothing entered yet
   }
 
   for (size_t v = 0; v < visit; ++v) {
@@ -428,6 +503,7 @@ void VaqIndex::SearchProjected(const float* projected,
     size_t begin = 0;
     size_t end = cluster.ids.size();
     if (heap->full()) {
+      TraceSpan prune_span(trace, QueryPhase::kTiPrune);
       const float r = std::sqrt(heap->Threshold());
       begin = std::lower_bound(cached, cached + end, dq - r) - cached;
       end = std::upper_bound(cached + begin, cached + end, dq + r) - cached;
@@ -459,9 +535,12 @@ void VaqIndex::SearchProjected(const float* projected,
       // the next block starts.
       const size_t chunk_end =
           std::min(stop_row, (i / kScanBlockSize + 1) * kScanBlockSize);
-      BlockedEaScan(bc, i, chunk_end, cluster.ids.data(), lut.data(),
-                    lut_offsets32_.data(), m, interval, kernel, scratch->acc,
-                    heap, stats, stop);
+      {
+        TraceSpan span(trace, QueryPhase::kBlockScan);
+        BlockedEaScan(bc, i, chunk_end, cluster.ids.data(), lut.data(),
+                      lut_offsets32_.data(), m, interval, kernel,
+                      scratch->acc, heap, stats, stop);
+      }
       if (stop != nullptr && stop->stopped()) return;
       if (chunk_end == stop_row && stop_row < end) {
         if (stats != nullptr) stats->codes_skipped_ti += end - stop_row;
@@ -517,23 +596,44 @@ Status VaqIndex::Search(const float* query, const SearchParams& params,
                         SearchScratch* scratch, std::vector<Neighbor>* out,
                         SearchStats* stats) const {
   WallTimer timer;
+  CpuTimer cpu_timer(CpuTimer::Scope::kThread);
   VAQ_RETURN_IF_ERROR(ValidateSearchParams(params));
   StopController stop(params.deadline, params.cancel_token);
   StopController* stop_ptr = stop.armed() ? &stop : nullptr;
 
-  scratch->pca_space.resize(dim());
-  pca_.TransformRow(query, scratch->pca_space.data());
-  scratch->projected.resize(dim());
-  for (size_t p = 0; p < dim(); ++p) {
-    scratch->projected[p] = scratch->pca_space[permutation_[p]];
+  // Snapshot for telemetry deltas: callers may reuse `stats` across
+  // queries, so counters are fed as after-minus-before.
+  const SearchStats before = stats != nullptr ? *stats : SearchStats{};
+  if (params.trace != nullptr) params.trace->Reset();
+
+  {
+    TraceSpan span(params.trace, QueryPhase::kProject);
+    scratch->pca_space.resize(dim());
+    pca_.TransformRow(query, scratch->pca_space.data());
+    scratch->projected.resize(dim());
+    for (size_t p = 0; p < dim(); ++p) {
+      scratch->projected[p] = scratch->pca_space[permutation_[p]];
+    }
   }
 
   scratch->heap.Reset(params.k);
   SearchProjected(scratch->projected.data(), params, scratch, &scratch->heap,
                   stats, stop_ptr);
-  return FinalizeSearchResult(stop_ptr, params.strict_deadline,
-                              &scratch->heap, out, stats,
-                              timer.ElapsedMicros());
+  const double wall_us = timer.ElapsedMicros();
+  const double cpu_us = cpu_timer.ElapsedMicros();
+  const Status status =
+      FinalizeSearchResult(stop_ptr, params.strict_deadline, &scratch->heap,
+                           out, stats, wall_us, cpu_us);
+  if (stats != nullptr) {
+    RecordQueryTelemetry(before, *stats, status, params.trace);
+  } else {
+    SearchStats after;
+    after.truncated = stop_ptr != nullptr && stop_ptr->stopped();
+    after.wall_micros = wall_us;
+    after.cpu_micros = cpu_us;
+    RecordQueryTelemetry(before, after, status, params.trace);
+  }
+  return status;
 }
 
 Result<std::vector<std::vector<Neighbor>>> VaqIndex::SearchBatch(
@@ -561,13 +661,17 @@ Status VaqIndex::SearchBatchInto(
   // whole batch is bounded by one budget, and queries still queued when
   // it passes degrade (or strict-fail) at their first check point instead
   // of wedging the batch.
+  // A single QueryTrace is not thread-safe, so the per-query workers do
+  // not share params.trace (batch callers trace via single-query calls).
+  SearchParams query_params = params;
+  query_params.trace = nullptr;
   return RunSearchBatch(
       nq, num_threads,
-      [this, &queries, &params, results, query_stats](
+      [this, &queries, &query_params, results, query_stats](
           size_t q, SearchScratch* scratch) {
         SearchStats* stats =
             query_stats != nullptr ? &(*query_stats)[q] : nullptr;
-        return Search(queries.row(q), params, scratch, &(*results)[q],
+        return Search(queries.row(q), query_params, scratch, &(*results)[q],
                       stats);
       },
       statuses);

@@ -10,6 +10,7 @@
 #include "common/matrix.h"
 #include "common/status.h"
 #include "common/topk.h"
+#include "common/trace.h"
 #include "core/codebook.h"
 #include "core/scan.h"
 #include "core/subspace.h"
@@ -93,6 +94,12 @@ struct SearchParams {
   /// results, OK status, SearchStats::truncated set. true: the query
   /// fails with kDeadlineExceeded instead of returning partial results.
   bool strict_deadline = false;
+  /// Optional per-query phase-timing sink (common/trace.h). Only consulted
+  /// when process-wide tracing is enabled; nullptr (the default) keeps the
+  /// query path free of clock reads. Not owned; must outlive the call.
+  /// Batch entry points ignore it (queries run concurrently; a single
+  /// trace is not thread-safe).
+  QueryTrace* trace = nullptr;
 };
 
 /// Variance-Aware Quantization index: the paper's end-to-end system

@@ -7,9 +7,12 @@
 #include <fstream>
 
 #include "common/io.h"
+#include "common/log.h"
 #include "common/macros.h"
+#include "common/metrics.h"
 #include "common/serialize.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "core/allocation.h"
 #include "core/balance.h"
 #include "core/search_batch.h"
@@ -32,67 +35,121 @@ Result<VaqIvfIndex> VaqIvfIndex::Train(const FloatMatrix& data,
   VaqIvfIndex index;
   index.options_ = options;
 
+  // Per-stage build accounting, same counters as VaqIndex::Train plus the
+  // coarse-quantizer stage (DESIGN.md §10).
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  double pca_us = 0.0, subspace_us = 0.0, alloc_us = 0.0, book_us = 0.0,
+         encode_us = 0.0, coarse_us = 0.0, scan_us = 0.0;
+
   // Same encoding pipeline as VaqIndex: VarPCA, subspaces, balancing,
   // adaptive allocation, variable dictionaries.
-  Pca::Options pca_opts;
-  pca_opts.center = vopts.center_pca;
-  VAQ_RETURN_IF_ERROR(index.pca_.Fit(data, pca_opts));
+  {
+    StageTimer st(reg.GetCounter("vaq_build_pca_us_total",
+                                 "Cumulative PCA fit wall time (us)"),
+                  &pca_us);
+    Pca::Options pca_opts;
+    pca_opts.center = vopts.center_pca;
+    VAQ_RETURN_IF_ERROR(index.pca_.Fit(data, pca_opts));
+  }
   const std::vector<double> variances = index.pca_.ExplainedVarianceRatio();
 
   const size_t m = vopts.num_subspaces;
   SubspaceLayout layout;
-  if (vopts.clustered_subspaces) {
-    VAQ_ASSIGN_OR_RETURN(layout, SubspaceLayout::Clustered(variances, m));
-    VAQ_RETURN_IF_ERROR(layout.RepairOrdering(variances));
-  } else {
-    VAQ_ASSIGN_OR_RETURN(layout, SubspaceLayout::Uniform(data.cols(), m));
-  }
-  const BalanceResult balance = vopts.partial_balance
-                                    ? PartialBalance(variances, layout)
-                                    : IdentityBalance(variances);
-  index.permutation_ = balance.permutation;
-  index.layout_ = layout;
-
-  const std::vector<double> subspace_vars =
-      layout.SubspaceVariances(balance.permuted_variances);
-  if (vopts.adaptive_allocation) {
-    AllocationOptions aopts;
-    aopts.total_bits = vopts.total_bits;
-    aopts.min_bits = vopts.min_bits;
-    aopts.max_bits = vopts.max_bits;
-    aopts.target_variance = vopts.target_variance;
-    VAQ_ASSIGN_OR_RETURN(Allocation alloc,
-                         AllocateBits(subspace_vars, aopts));
-    index.bits_ = alloc.bits;
-  } else {
-    index.bits_.assign(m, static_cast<int>(vopts.total_bits / m));
-    for (size_t i = 0; i < vopts.total_bits % m; ++i) ++index.bits_[i];
+  std::vector<double> subspace_vars;
+  {
+    StageTimer st(
+        reg.GetCounter("vaq_build_subspace_us_total",
+                       "Cumulative subspace grouping/balancing time (us)"),
+        &subspace_us);
+    if (vopts.clustered_subspaces) {
+      VAQ_ASSIGN_OR_RETURN(layout, SubspaceLayout::Clustered(variances, m));
+      VAQ_RETURN_IF_ERROR(layout.RepairOrdering(variances));
+    } else {
+      VAQ_ASSIGN_OR_RETURN(layout, SubspaceLayout::Uniform(data.cols(), m));
+    }
+    const BalanceResult balance = vopts.partial_balance
+                                      ? PartialBalance(variances, layout)
+                                      : IdentityBalance(variances);
+    index.permutation_ = balance.permutation;
+    index.layout_ = layout;
+    subspace_vars = layout.SubspaceVariances(balance.permuted_variances);
   }
 
-  VAQ_ASSIGN_OR_RETURN(FloatMatrix projected, index.pca_.Transform(data));
-  projected = projected.PermuteColumns(index.permutation_);
+  {
+    StageTimer st(
+        reg.GetCounter("vaq_build_allocation_us_total",
+                       "Cumulative bit-allocation (MILP) time (us)"),
+        &alloc_us);
+    if (vopts.adaptive_allocation) {
+      AllocationOptions aopts;
+      aopts.total_bits = vopts.total_bits;
+      aopts.min_bits = vopts.min_bits;
+      aopts.max_bits = vopts.max_bits;
+      aopts.target_variance = vopts.target_variance;
+      VAQ_ASSIGN_OR_RETURN(Allocation alloc,
+                           AllocateBits(subspace_vars, aopts));
+      index.bits_ = alloc.bits;
+    } else {
+      index.bits_.assign(m, static_cast<int>(vopts.total_bits / m));
+      for (size_t i = 0; i < vopts.total_bits % m; ++i) ++index.bits_[i];
+    }
+  }
 
-  CodebookOptions copts;
-  copts.kmeans_iters = vopts.kmeans_iters;
-  copts.seed = vopts.seed;
-  VAQ_RETURN_IF_ERROR(
-      index.books_.Train(projected, layout, index.bits_, copts));
-  VAQ_ASSIGN_OR_RETURN(index.codes_,
-                       index.books_.Encode(projected, vopts.train_threads));
+  FloatMatrix projected;
+  {
+    StageTimer st(
+        reg.GetCounter("vaq_build_codebook_us_total",
+                       "Cumulative codebook training time (us)"),
+        &book_us);
+    VAQ_ASSIGN_OR_RETURN(projected, index.pca_.Transform(data));
+    projected = projected.PermuteColumns(index.permutation_);
+
+    CodebookOptions copts;
+    copts.kmeans_iters = vopts.kmeans_iters;
+    copts.seed = vopts.seed;
+    VAQ_RETURN_IF_ERROR(
+        index.books_.Train(projected, layout, index.bits_, copts));
+  }
+  {
+    StageTimer st(reg.GetCounter("vaq_build_encode_us_total",
+                                 "Cumulative database encoding time (us)"),
+                  &encode_us);
+    VAQ_ASSIGN_OR_RETURN(index.codes_,
+                         index.books_.Encode(projected, vopts.train_threads));
+  }
 
   // IVF part: trained coarse k-means over the projected vectors (instead
   // of VaqIndex's random-sample TI centroids).
-  KMeansOptions kopts;
-  kopts.k = std::min(options.coarse_k, data.rows());
-  kopts.max_iters = vopts.kmeans_iters;
-  kopts.seed = vopts.seed ^ 0x51F15EEDULL;
-  VAQ_RETURN_IF_ERROR(index.coarse_.Train(projected, kopts));
-  index.lists_.assign(index.coarse_.k(), {});
-  const std::vector<uint32_t> assign = index.coarse_.AssignAll(projected);
-  for (size_t r = 0; r < data.rows(); ++r) {
-    index.lists_[assign[r]].push_back(static_cast<uint32_t>(r));
+  {
+    StageTimer st(
+        reg.GetCounter("vaq_build_coarse_us_total",
+                       "Cumulative coarse quantizer training time (us)"),
+        &coarse_us);
+    KMeansOptions kopts;
+    kopts.k = std::min(options.coarse_k, data.rows());
+    kopts.max_iters = vopts.kmeans_iters;
+    kopts.seed = vopts.seed ^ 0x51F15EEDULL;
+    VAQ_RETURN_IF_ERROR(index.coarse_.Train(projected, kopts));
+    index.lists_.assign(index.coarse_.k(), {});
+    const std::vector<uint32_t> assign = index.coarse_.AssignAll(projected);
+    for (size_t r = 0; r < data.rows(); ++r) {
+      index.lists_[assign[r]].push_back(static_cast<uint32_t>(r));
+    }
   }
-  index.BuildScanStructures();
+  {
+    StageTimer st(
+        reg.GetCounter("vaq_build_scan_layout_us_total",
+                       "Cumulative blocked scan-layout build time (us)"),
+        &scan_us);
+    index.BuildScanStructures();
+  }
+  reg.GetCounter("vaq_builds_total", "Index builds completed")->Increment();
+  VAQ_LOG(LogLevel::kDebug,
+          "VaqIvfIndex build report: n=%zu d=%zu m=%zu pca=%.0fus "
+          "subspace=%.0fus allocation=%.0fus codebook=%.0fus encode=%.0fus "
+          "coarse=%.0fus scan_layout=%.0fus",
+          data.rows(), data.cols(), m, pca_us, subspace_us, alloc_us, book_us,
+          encode_us, coarse_us, scan_us);
   return index;
 }
 
@@ -334,6 +391,7 @@ Status VaqIvfIndex::Search(const float* query, size_t k, size_t nprobe,
                            SearchScratch* scratch, std::vector<Neighbor>* out,
                            SearchStats* stats) const {
   WallTimer timer;
+  CpuTimer cpu_timer(CpuTimer::Scope::kThread);
   if (!books_.trained()) {
     return Status::FailedPrecondition("index is not trained");
   }
@@ -347,20 +405,31 @@ Status VaqIvfIndex::Search(const float* query, size_t k, size_t nprobe,
   StopController stop_state(control.deadline, control.cancel_token);
   StopController* stop = stop_state.armed() ? &stop_state : nullptr;
 
+  const SearchStats before = stats != nullptr ? *stats : SearchStats{};
+  QueryTrace* trace = control.trace;
+  if (trace != nullptr) trace->Reset();
+
   // Project the query into the permuted PCA space.
-  scratch->pca_space.resize(dim());
-  pca_.TransformRow(query, scratch->pca_space.data());
   std::vector<float>& projected = scratch->projected;
-  projected.resize(dim());
-  for (size_t p = 0; p < dim(); ++p) {
-    projected[p] = scratch->pca_space[permutation_[p]];
+  {
+    TraceSpan span(trace, QueryPhase::kProject);
+    scratch->pca_space.resize(dim());
+    pca_.TransformRow(query, scratch->pca_space.data());
+    projected.resize(dim());
+    for (size_t p = 0; p < dim(); ++p) {
+      projected[p] = scratch->pca_space[permutation_[p]];
+    }
   }
 
   std::vector<float>& lut = scratch->lut;
-  books_.BuildLookupTable(projected.data(), &lut);
+  {
+    TraceSpan span(trace, QueryPhase::kLutBuild);
+    books_.BuildLookupTable(projected.data(), &lut);
+  }
 
   // Rank the coarse cells by query distance; `query_to_cluster` holds the
   // distances and `order` the cell ranking, mirroring VaqIndex's TI path.
+  TraceSpan rank_span(trace, QueryPhase::kPartitionRank);
   std::vector<float>& cell_dist = scratch->query_to_cluster;
   cell_dist.resize(coarse_.k());
   for (size_t c = 0; c < coarse_.k(); ++c) {
@@ -377,10 +446,12 @@ Status VaqIvfIndex::Search(const float* query, size_t k, size_t nprobe,
                       }
                       return a < b;
                     });
+  rank_span.Stop();
   if (stats != nullptr) {
     stats->clusters_total = coarse_.k();
     stats->clusters_visited = nprobe;
     stats->partitions_total = coarse_.k();
+    stats->partitions_visited = 0;  // plan stamped; nothing entered yet
   }
 
   // Blocked early-abandoned ADC scan of the probed lists
@@ -391,6 +462,7 @@ Status VaqIvfIndex::Search(const float* query, size_t k, size_t nprobe,
   const size_t m = books_.num_subspaces();
   TopKHeap& heap = scratch->heap;
   heap.Reset(k);
+  TraceSpan scan_span(trace, QueryPhase::kBlockScan);
   if (options_.scan_kernel == ScanKernelType::kReference) {
     for (size_t v = 0; v < nprobe; ++v) {
       if (stop != nullptr && stop->ShouldStop()) break;
@@ -435,8 +507,22 @@ Status VaqIvfIndex::Search(const float* query, size_t k, size_t nprobe,
                     scratch->acc, &heap, stats, stop);
     }
   }
-  return FinalizeSearchResult(stop, control.strict_deadline, &heap, out,
-                              stats, timer.ElapsedMicros());
+  scan_span.Stop();
+  const double wall_us = timer.ElapsedMicros();
+  const double cpu_us = cpu_timer.ElapsedMicros();
+  const Status status = FinalizeSearchResult(stop, control.strict_deadline,
+                                             &heap, out, stats, wall_us,
+                                             cpu_us);
+  if (stats != nullptr) {
+    RecordQueryTelemetry(before, *stats, status, trace);
+  } else {
+    SearchStats after;
+    after.truncated = stop != nullptr && stop->stopped();
+    after.wall_micros = wall_us;
+    after.cpu_micros = cpu_us;
+    RecordQueryTelemetry(before, after, status, trace);
+  }
+  return status;
 }
 
 Status VaqIvfIndex::SearchBatchInto(
@@ -451,13 +537,16 @@ Status VaqIvfIndex::SearchBatchInto(
   const size_t nq = queries.rows();
   results->resize(nq);
   if (query_stats != nullptr) query_stats->assign(nq, SearchStats{});
+  // A single QueryTrace is not thread-safe across the batch workers.
+  QueryControl query_control = control;
+  query_control.trace = nullptr;
   return RunSearchBatch(
       nq, num_threads,
-      [this, &queries, k, nprobe, &control, results, query_stats](
+      [this, &queries, k, nprobe, query_control, results, query_stats](
           size_t q, SearchScratch* scratch) {
         SearchStats* stats =
             query_stats != nullptr ? &(*query_stats)[q] : nullptr;
-        return Search(queries.row(q), k, nprobe, control, scratch,
+        return Search(queries.row(q), k, nprobe, query_control, scratch,
                       &(*results)[q], stats);
       },
       statuses);

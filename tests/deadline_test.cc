@@ -18,6 +18,7 @@
 
 #include "common/deadline.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "core/vaq_index.h"
 #include "index/vaq_ivf.h"
 
@@ -368,13 +369,28 @@ TEST_F(SearchDeadlineTest, TruncationReportDescribesPartitionProgress) {
   params.mode = SearchMode::kTriangleInequality;
   params.visit_fraction = 1.0;
   params.deadline = BudgetOfChecks(3);
+  // Trace the truncated query too: even a query stopped mid-scan must
+  // leave a coherent phase record (full setup phases, partial scan).
+  SetTracingEnabled(true);
+  QueryTrace trace;
+  params.trace = &trace;
   std::vector<Neighbor> result;
   SearchStats stats;
-  ASSERT_TRUE(index_->Search(base_->row(5), params, &result, &stats).ok());
+  const Status st = index_->Search(base_->row(5), params, &result, &stats);
+  SetTracingEnabled(false);
+  ASSERT_TRUE(st.ok());
   EXPECT_TRUE(stats.truncated);
   EXPECT_EQ(stats.partitions_total, 32u);
   EXPECT_LT(stats.partitions_visited, stats.partitions_total);
   EXPECT_GT(stats.wall_micros, 0.0);
+  // The query got through projection, LUT build, and partition ranking
+  // before the budget hit, and entered the scan phase without finishing
+  // every planned partition (the truncation above proves partiality).
+  EXPECT_TRUE(trace.enabled());
+  EXPECT_TRUE(trace.HasPhase(QueryPhase::kProject));
+  EXPECT_TRUE(trace.HasPhase(QueryPhase::kLutBuild));
+  EXPECT_TRUE(trace.HasPhase(QueryPhase::kPartitionRank));
+  EXPECT_TRUE(trace.HasPhase(QueryPhase::kBlockScan));
 }
 
 // ---------------------------------------------------------------------------
