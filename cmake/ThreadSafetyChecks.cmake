@@ -1,0 +1,61 @@
+# Clang -Wthread-safety gate (DESIGN.md §11).
+#
+# vaq_enable_thread_safety_analysis() is called from the top-level lists
+# file when VAQ_ENABLE_THREAD_SAFETY_ANALYSIS=ON. Under Clang it
+#   1. runs a positive-control try_compile: correctly locked access to a
+#      VAQ_GUARDED_BY member must build under -Wthread-safety -Werror
+#      (otherwise the flags/annotations are misconfigured and the gate
+#      would prove nothing);
+#   2. runs the negative-compilation check: a lockless read of a guarded
+#      member must FAIL to build — configuration aborts if it compiles;
+#   3. promotes -Wthread-safety -Werror onto the whole build.
+# Under any other compiler the annotations expand to no-ops, so the
+# function degrades to a loud warning instead of silently "passing".
+
+function(vaq_enable_thread_safety_analysis)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    message(WARNING
+      "VAQ_ENABLE_THREAD_SAFETY_ANALYSIS requires Clang; "
+      "${CMAKE_CXX_COMPILER_ID} compiles the annotations to no-ops and "
+      "no lock discipline is being proven. Reconfigure with "
+      "-DCMAKE_CXX_COMPILER=clang++ to arm the gate.")
+    return()
+  endif()
+
+  set(_tsa_flags "-Wthread-safety -Werror")
+
+  try_compile(VAQ_TSA_POSITIVE_BUILDS
+    ${CMAKE_BINARY_DIR}/tsa-positive
+    SOURCES ${PROJECT_SOURCE_DIR}/cmake/thread_safety_positive.cc
+    CMAKE_FLAGS
+      "-DINCLUDE_DIRECTORIES=${PROJECT_SOURCE_DIR}/src"
+      "-DCMAKE_CXX_FLAGS:STRING=${_tsa_flags}"
+    CXX_STANDARD 20
+    OUTPUT_VARIABLE _tsa_positive_output)
+  if(NOT VAQ_TSA_POSITIVE_BUILDS)
+    message(FATAL_ERROR
+      "thread-safety positive control failed to compile — the "
+      "-Wthread-safety gate is misconfigured:\n${_tsa_positive_output}")
+  endif()
+
+  try_compile(VAQ_TSA_NEGATIVE_BUILDS
+    ${CMAKE_BINARY_DIR}/tsa-negative
+    SOURCES ${PROJECT_SOURCE_DIR}/cmake/thread_safety_negative.cc
+    CMAKE_FLAGS
+      "-DINCLUDE_DIRECTORIES=${PROJECT_SOURCE_DIR}/src"
+      "-DCMAKE_CXX_FLAGS:STRING=${_tsa_flags}"
+    CXX_STANDARD 20
+    OUTPUT_VARIABLE _tsa_negative_output)
+  if(VAQ_TSA_NEGATIVE_BUILDS)
+    message(FATAL_ERROR
+      "negative-compilation check failed: accessing a VAQ_GUARDED_BY "
+      "member without its lock COMPILED under ${_tsa_flags}. The "
+      "thread-safety analysis is not actually running; refusing to "
+      "configure a build that only pretends to be checked.")
+  endif()
+  message(STATUS
+    "Thread-safety analysis armed: positive control builds, guarded "
+    "member misuse is a compile error")
+
+  add_compile_options(-Wthread-safety -Werror)
+endfunction()

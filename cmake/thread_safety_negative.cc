@@ -1,0 +1,25 @@
+// Negative-compilation fixture (see cmake/ThreadSafetyChecks.cmake):
+// reading a VAQ_GUARDED_BY member without holding its mutex MUST fail to
+// build under -Wthread-safety -Werror. The configure step asserts that
+// this file does NOT compile; if it ever does, the thread-safety gate
+// has silently stopped proving anything and configuration aborts.
+#include "common/annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // Intentional violation: `value_` is guarded by `mu_` but read lockless.
+  int Read() { return value_; }
+
+ private:
+  vaq::Mutex mu_;
+  int value_ VAQ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.Read();
+}

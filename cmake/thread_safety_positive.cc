@@ -1,0 +1,32 @@
+// Positive control for the thread-safety negative-compilation check
+// (see cmake/ThreadSafetyChecks.cmake): correctly locked access to a
+// VAQ_GUARDED_BY member MUST compile under -Wthread-safety -Werror. If
+// this file fails to build, the flags or annotations are misconfigured
+// and the negative check below would "pass" vacuously.
+#include "common/annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  int Read() VAQ_EXCLUDES(mu_) {
+    vaq::MutexLock lock(mu_);
+    return value_;
+  }
+  void Increment() VAQ_EXCLUDES(mu_) {
+    vaq::MutexLock lock(mu_);
+    ++value_;
+  }
+
+ private:
+  vaq::Mutex mu_;
+  int value_ VAQ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Read();
+}

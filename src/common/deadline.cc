@@ -5,7 +5,10 @@ namespace {
 
 // Installed test hooks. Atomic so a stress test can (un)install them while
 // pool workers are mid-query without a data race; plain function pointers
-// keep the uninstrumented fast path to two relaxed loads.
+// keep the uninstrumented fast path to two relaxed loads. Like log.cc,
+// this module is deliberately mutex-free — nothing here carries a
+// capability for the -Wthread-safety analysis (DESIGN.md §11), and the
+// per-block ShouldStop check must never contend on a lock.
 std::atomic<DeadlineClockFn> g_clock_fn{nullptr};
 std::atomic<DeadlineCheckHookFn> g_check_hook{nullptr};
 

@@ -5,7 +5,14 @@
 /// severity threshold, printf-style formatting, and a replaceable sink so
 /// tests can capture output instead of scraping stderr. This is the
 /// single funnel for all diagnostic output: the slow-query log, build
-/// reports, and VAQ_CHECK failures (macros.h) all route through it.
+/// reports, and VAQ_CHECK failures (macros.h) all route through it —
+/// tools/lint_invariants.py rejects raw fprintf/printf anywhere else in
+/// src/ (DESIGN.md §11).
+///
+/// Concurrency: deliberately mutex-free. The level threshold and the
+/// sink pointer are single atomics, so the thread-safety analysis
+/// (annotations.h) has no capability to track here; Logf itself only
+/// touches stack buffers.
 
 #include <cstdarg>
 

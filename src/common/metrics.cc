@@ -40,7 +40,7 @@ double Histogram::BucketUpperBound(size_t i) {
 
 MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(
     const std::string& name, Kind kind, const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(name);
   if (it != entries_.end()) {
     // Same name, different metric type = two call sites disagree about
@@ -87,7 +87,7 @@ void MetricsRegistry::RegisterCallbackGauge(const std::string& name,
                                             const std::string& help,
                                             std::function<int64_t()> fn) {
   Entry* entry = FindOrCreate(name, Kind::kCallbackGauge, help);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entry->gauge_fn = std::move(fn);
 }
 
@@ -95,12 +95,12 @@ void MetricsRegistry::RegisterCallbackCounter(const std::string& name,
                                               const std::string& help,
                                               std::function<uint64_t()> fn) {
   Entry* entry = FindOrCreate(name, Kind::kCallbackCounter, help);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entry->counter_fn = std::move(fn);
 }
 
 void MetricsRegistry::Dump(std::ostream& os, MetricsFormat format) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (format == MetricsFormat::kPrometheus) {
     for (const auto& [name, entry] : entries_) {
       os << "# HELP " << name << ' ' << entry.help << '\n';
@@ -185,7 +185,7 @@ void MetricsRegistry::Dump(std::ostream& os, MetricsFormat format) const {
 }
 
 void MetricsRegistry::ResetForTesting() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, entry] : entries_) {
     (void)name;
     if (entry.counter) entry.counter->value_.store(0);

@@ -21,8 +21,9 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "common/annotations.h"
 
 namespace vaq {
 
@@ -131,23 +132,27 @@ class MetricsRegistry {
   /// on first access.
   static MetricsRegistry& Global();
 
-  Counter* GetCounter(const std::string& name, const std::string& help);
-  Gauge* GetGauge(const std::string& name, const std::string& help);
-  Histogram* GetHistogram(const std::string& name, const std::string& help);
+  Counter* GetCounter(const std::string& name, const std::string& help)
+      VAQ_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name, const std::string& help)
+      VAQ_EXCLUDES(mu_);
+  Histogram* GetHistogram(const std::string& name, const std::string& help)
+      VAQ_EXCLUDES(mu_);
 
   /// Re-registering a callback name replaces the previous callback.
   void RegisterCallbackGauge(const std::string& name, const std::string& help,
-                             std::function<int64_t()> fn);
+                             std::function<int64_t()> fn) VAQ_EXCLUDES(mu_);
   void RegisterCallbackCounter(const std::string& name,
                                const std::string& help,
-                               std::function<uint64_t()> fn);
+                               std::function<uint64_t()> fn)
+      VAQ_EXCLUDES(mu_);
 
   /// Serializes every registered metric, names sorted, to `os`.
-  void Dump(std::ostream& os, MetricsFormat format) const;
+  void Dump(std::ostream& os, MetricsFormat format) const VAQ_EXCLUDES(mu_);
 
   /// Zeroes every owned counter/gauge/histogram (callbacks are left
   /// registered — their sources are external). Tests only.
-  void ResetForTesting();
+  void ResetForTesting() VAQ_EXCLUDES(mu_);
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram, kCallbackGauge,
@@ -163,12 +168,13 @@ class MetricsRegistry {
   };
 
   Entry* FindOrCreate(const std::string& name, Kind kind,
-                      const std::string& help);
+                      const std::string& help) VAQ_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // std::map keeps exposition output sorted and therefore deterministic
-  // for golden-string tests.
-  std::map<std::string, Entry> entries_;
+  // for golden-string tests. Entry pointers handed out by FindOrCreate
+  // stay valid because std::map never relocates nodes.
+  std::map<std::string, Entry> entries_ VAQ_GUARDED_BY(mu_);
 };
 
 /// Dumps the global registry — the exposition entry point benches,

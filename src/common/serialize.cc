@@ -53,23 +53,22 @@ constexpr size_t kFooterBytes = sizeof(uint32_t);
 // the table-size computation against a corrupted count field.
 constexpr uint32_t kMaxSections = 1024;
 
+// Envelope integers round-trip through the type-safe StoreAs/LoadAs
+// bridges (common/io.h) — no pointer reinterpretation anywhere in the
+// persistence layer.
 void AppendPod32(std::string* out, uint32_t v) {
-  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+  char buf[sizeof(v)];
+  StoreAs(buf, v);
+  out->append(buf, sizeof(v));
 }
 void AppendPod64(std::string* out, uint64_t v) {
-  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+  char buf[sizeof(v)];
+  StoreAs(buf, v);
+  out->append(buf, sizeof(v));
 }
 
-uint32_t LoadPod32(const char* p) {
-  uint32_t v;
-  std::memcpy(&v, p, sizeof(v));
-  return v;
-}
-uint64_t LoadPod64(const char* p) {
-  uint64_t v;
-  std::memcpy(&v, p, sizeof(v));
-  return v;
-}
+uint32_t LoadPod32(const char* p) { return LoadAs<uint32_t>(p); }
+uint64_t LoadPod64(const char* p) { return LoadAs<uint64_t>(p); }
 
 // Write-failure injection (tests only). Negative = disabled; otherwise the
 // budget of temp-file bytes that still succeed before writes fail ENOSPC.
@@ -106,6 +105,10 @@ bool WriteAllFd(int fd, const char* data, size_t len) {
 }
 
 std::string ErrnoText() {
+  // strerror_r's GNU/POSIX signature split makes it unportable; plain
+  // strerror races only with other strerror calls on exotic libcs, and
+  // glibc's is thread-safe. Error paths here are cold and sequential.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   return std::strerror(errno);
 }
 

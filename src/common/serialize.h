@@ -80,6 +80,11 @@ class ByteViewStream : public std::istream {
   class Buf : public std::streambuf {
    public:
     void Reset(const char* data, size_t size) {
+      // std::streambuf's get-area API predates const-correctness and
+      // demands char*; this buffer is read-only by construction (no
+      // overflow/sputc path), so shedding const here cannot lead to a
+      // write through the pointer.
+      // NOLINTNEXTLINE(cppcoreguidelines-pro-type-const-cast)
       char* p = const_cast<char*>(data);
       setg(p, p, p + size);
     }

@@ -22,7 +22,7 @@ ThreadPool::ThreadPool(const Options& options) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
   not_empty_.notify_all();
@@ -31,13 +31,13 @@ ThreadPool::~ThreadPool() {
 }
 
 size_t ThreadPool::queued() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
 bool ThreadPool::TrySubmit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_ || queue_.size() >= queue_capacity_) return false;
     queue_.push_back(std::move(task));
   }
@@ -47,10 +47,13 @@ bool ThreadPool::TrySubmit(std::function<void()> task) {
 
 Status ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [this] {
-      return shutdown_ || queue_.size() < queue_capacity_;
-    });
+    MutexLock lock(mu_);
+    // Explicit predicate re-check loop: the analysis treats `mu_` as held
+    // across the wait (it does not model cv unlock/relock), which exactly
+    // matches the guarded accesses in the predicate.
+    while (!shutdown_ && queue_.size() >= queue_capacity_) {
+      not_full_.wait(lock.native());
+    }
     if (shutdown_) {
       return Status::Unavailable("thread pool is shutting down");
     }
@@ -64,8 +67,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      not_empty_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) {
+        not_empty_.wait(lock.native());
+      }
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();

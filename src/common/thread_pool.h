@@ -4,12 +4,13 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/status.h"
 
 namespace vaq {
@@ -20,6 +21,10 @@ namespace vaq {
 /// serving loop pays thread-creation cost exactly once instead of per
 /// batch, and the bounded queue keeps a flood of batches from piling up
 /// unbounded work in memory.
+///
+/// Locking discipline (statically enforced under
+/// VAQ_ENABLE_THREAD_SAFETY_ANALYSIS, DESIGN.md §11): `mu_` guards the
+/// queue and the shutdown flag; both condition variables wait on it.
 ///
 /// Tasks must not throw; as a safety net the worker loop swallows
 /// exceptions so one faulty task cannot take the process (callers doing
@@ -41,18 +46,19 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   size_t num_threads() const { return workers_.size(); }
+  /// Immutable after construction; safe to read without `mu_`.
   size_t queue_capacity() const { return queue_capacity_; }
   /// Pending tasks (excludes ones already running). Approximate.
-  size_t queued() const;
+  size_t queued() const VAQ_EXCLUDES(mu_);
 
   /// Enqueues without blocking. Returns false when the queue is at
   /// capacity or the pool is shutting down — the caller sheds the load.
-  bool TrySubmit(std::function<void()> task);
+  bool TrySubmit(std::function<void()> task) VAQ_EXCLUDES(mu_);
 
   /// Enqueues, waiting for queue space if necessary. Only fails after
   /// shutdown began. Safe for callers that already passed admission
   /// control and therefore hold a bounded amount of outstanding work.
-  Status Submit(std::function<void()> task);
+  Status Submit(std::function<void()> task) VAQ_EXCLUDES(mu_);
 
   /// Process-wide pool used by the search batch drivers. Created on first
   /// use with hardware-concurrency workers.
@@ -64,14 +70,14 @@ class ThreadPool {
   static ThreadPool* SharedIfStarted();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() VAQ_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<std::function<void()>> queue_;
-  size_t queue_capacity_ = 0;
-  bool shutdown_ = false;
+  std::deque<std::function<void()>> queue_ VAQ_GUARDED_BY(mu_);
+  size_t queue_capacity_ = 0;  ///< set once in the constructor
+  bool shutdown_ VAQ_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 
@@ -82,23 +88,23 @@ class ThreadPool {
 /// next batch.
 class TaskGroup {
  public:
-  void Add(size_t n = 1) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Add(size_t n = 1) VAQ_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     pending_ += n;
   }
-  void Done() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Done() VAQ_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (--pending_ == 0) cv_.notify_all();
   }
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return pending_ == 0; });
+  void Wait() VAQ_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (pending_ != 0) cv_.wait(lock.native());
   }
 
  private:
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable cv_;
-  size_t pending_ = 0;
+  size_t pending_ VAQ_GUARDED_BY(mu_) = 0;
 };
 
 /// Admission control for query execution: a cap on in-flight queries
@@ -108,6 +114,10 @@ class TaskGroup {
 /// in time (the caller retries elsewhere or later). Admission is counted
 /// in queries, not batches, so one oversized batch cannot starve many
 /// small ones for long.
+///
+/// Deliberately lock-free: all state is relaxed/acq-rel atomics, so the
+/// thread-safety analysis has no capability to track here — TryAdmit
+/// sits on the batch fast path and must never block behind a scrape.
 class AdmissionController {
  public:
   /// RAII grant; releases its query count when destroyed.

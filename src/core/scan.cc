@@ -94,6 +94,10 @@ namespace {
 
 bool ScalarForcedByEnv() {
   static const bool forced = [] {
+    // getenv is mt-unsafe only against concurrent setenv; this read
+    // happens once under the static-local guard and the process never
+    // mutates its environment.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char* env = std::getenv("VAQ_SCAN_KERNEL");
     return env != nullptr && std::strcmp(env, "scalar") == 0;
   }();

@@ -31,6 +31,12 @@ namespace vaq {
 /// pool shutdown). When `statuses` is nullptr a per-query failure is
 /// instead surfaced as the first non-OK status, preserving the legacy
 /// all-or-nothing contract.
+///
+/// Concurrency discipline: chunk workers write disjoint status slots and
+/// own their SearchScratch, so the only shared capabilities are inside
+/// ThreadPool/TaskGroup (vaq::Mutex, statically checked under
+/// VAQ_ENABLE_THREAD_SAFETY_ANALYSIS) and the lock-free
+/// AdmissionController (common/thread_pool.h).
 Status RunSearchBatch(
     size_t num_queries, size_t num_threads,
     const std::function<Status(size_t, SearchScratch*)>& run_query,

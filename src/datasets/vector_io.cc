@@ -4,8 +4,13 @@
 #include <fstream>
 #include <vector>
 
+#include "common/io.h"
+
 namespace vaq {
 namespace {
+
+// All record I/O goes through the type-safe ReadBytes/WriteBytes bridges
+// in common/io.h; this file stays reinterpret_cast-free (DESIGN.md §11).
 
 template <typename Element>
 Result<Matrix<float>> ReadVecsAsFloat(const std::string& path,
@@ -18,8 +23,7 @@ Result<Matrix<float>> ReadVecsAsFloat(const std::string& path,
   size_t count = 0;
   while (max_vectors == 0 || count < max_vectors) {
     int32_t d = 0;
-    is.read(reinterpret_cast<char*>(&d), sizeof(d));
-    if (!is) break;  // clean EOF between records
+    if (!ReadBytes(is, &d, sizeof(d))) break;  // clean EOF between records
     if (d <= 0) return Status::IoError("corrupt record header in " + path);
     if (dim == 0) {
       dim = static_cast<size_t>(d);
@@ -27,9 +31,9 @@ Result<Matrix<float>> ReadVecsAsFloat(const std::string& path,
       return Status::IoError("inconsistent dimensions in " + path);
     }
     std::vector<Element> buffer(dim);
-    is.read(reinterpret_cast<char*>(buffer.data()),
-            static_cast<std::streamsize>(dim * sizeof(Element)));
-    if (!is) return Status::IoError("truncated record in " + path);
+    if (!ReadBytes(is, buffer.data(), dim * sizeof(Element))) {
+      return Status::IoError("truncated record in " + path);
+    }
     for (Element e : buffer) values.push_back(static_cast<float>(e));
     ++count;
   }
@@ -56,8 +60,7 @@ Result<Matrix<int32_t>> ReadIvecs(const std::string& path,
   size_t count = 0;
   while (max_vectors == 0 || count < max_vectors) {
     int32_t d = 0;
-    is.read(reinterpret_cast<char*>(&d), sizeof(d));
-    if (!is) break;
+    if (!ReadBytes(is, &d, sizeof(d))) break;
     if (d <= 0) return Status::IoError("corrupt record header in " + path);
     if (dim == 0) {
       dim = static_cast<size_t>(d);
@@ -65,9 +68,9 @@ Result<Matrix<int32_t>> ReadIvecs(const std::string& path,
       return Status::IoError("inconsistent dimensions in " + path);
     }
     std::vector<int32_t> buffer(dim);
-    is.read(reinterpret_cast<char*>(buffer.data()),
-            static_cast<std::streamsize>(dim * sizeof(int32_t)));
-    if (!is) return Status::IoError("truncated record in " + path);
+    if (!ReadBytes(is, buffer.data(), dim * sizeof(int32_t))) {
+      return Status::IoError("truncated record in " + path);
+    }
     values.insert(values.end(), buffer.begin(), buffer.end());
     ++count;
   }
@@ -80,9 +83,8 @@ Status WriteFvecs(const std::string& path, const FloatMatrix& data) {
   if (!os) return Status::IoError("cannot open " + path + " for writing");
   const int32_t d = static_cast<int32_t>(data.cols());
   for (size_t r = 0; r < data.rows(); ++r) {
-    os.write(reinterpret_cast<const char*>(&d), sizeof(d));
-    os.write(reinterpret_cast<const char*>(data.row(r)),
-             static_cast<std::streamsize>(data.cols() * sizeof(float)));
+    WriteBytes(os, &d, sizeof(d));
+    WriteBytes(os, data.row(r), data.cols() * sizeof(float));
   }
   if (!os) return Status::IoError("write failure on " + path);
   return Status::OK();
@@ -93,9 +95,8 @@ Status WriteIvecs(const std::string& path, const Matrix<int32_t>& data) {
   if (!os) return Status::IoError("cannot open " + path + " for writing");
   const int32_t d = static_cast<int32_t>(data.cols());
   for (size_t r = 0; r < data.rows(); ++r) {
-    os.write(reinterpret_cast<const char*>(&d), sizeof(d));
-    os.write(reinterpret_cast<const char*>(data.row(r)),
-             static_cast<std::streamsize>(data.cols() * sizeof(int32_t)));
+    WriteBytes(os, &d, sizeof(d));
+    WriteBytes(os, data.row(r), data.cols() * sizeof(int32_t));
   }
   if (!os) return Status::IoError("write failure on " + path);
   return Status::OK();

@@ -173,11 +173,13 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values<size_t>(4, 8, 16, 32, 64),
                        ::testing::Values<size_t>(0, 1, 2),  // budget selector
                        ::testing::Values(0.5, 0.8, 0.95)),
+    // `p`, not `info`: the INSTANTIATE_TEST_SUITE_P expansion wraps this
+    // lambda in a function whose parameter is already named `info`.
     [](const ::testing::TestParamInfo<std::tuple<size_t, size_t, double>>&
-           info) {
-      return "m" + std::to_string(std::get<0>(info.param)) + "_b" +
-             std::to_string(std::get<1>(info.param)) + "_d" +
-             std::to_string(static_cast<int>(std::get<2>(info.param) * 100));
+           p) {
+      return "m" + std::to_string(std::get<0>(p.param)) + "_b" +
+             std::to_string(std::get<1>(p.param)) + "_d" +
+             std::to_string(static_cast<int>(std::get<2>(p.param) * 100));
     });
 
 }  // namespace

@@ -85,7 +85,9 @@ TEST(SyntheticTest, PowerLawSpectrumNormalized) {
   double total = 0.0;
   for (size_t i = 0; i < 16; ++i) {
     total += spectrum[i];
-    if (i > 0) EXPECT_LT(spectrum[i], spectrum[i - 1]);
+    if (i > 0) {
+      EXPECT_LT(spectrum[i], spectrum[i - 1]);
+    }
   }
   EXPECT_NEAR(total, 1.0, 1e-12);
 }

@@ -1,0 +1,14 @@
+// Seeded-violation fixture (NOT compiled). A file outside log.cc using
+// raw stdio must be reported; buffer formatting (snprintf) must not.
+
+#include <cstdio>
+
+namespace vaq {
+
+void DumpStateForDebugging(int value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "value=%d", value);  // legal: no output
+  std::fprintf(stderr, "%s\n", buf);  // seed: no-raw-stdio
+}
+
+}  // namespace vaq

@@ -1,0 +1,12 @@
+// Fixture twin of src/common/log.cc: the one file allowed to use raw
+// stdio (it IS the sink). Nothing here may be reported.
+
+#include <cstdio>
+
+namespace vaq {
+
+void EmitLineFixture(const char* message) {
+  std::fprintf(stderr, "%s\n", message);  // exempt: this is the funnel
+}
+
+}  // namespace vaq

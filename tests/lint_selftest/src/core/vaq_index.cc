@@ -1,0 +1,25 @@
+// Seeded-violation fixture (NOT compiled). Path mirrors the real public
+// entry-point file so entrypoint-no-check arms.
+
+#include <string>
+
+namespace vaq {
+
+Status VaqIndex::Search(const float* query, size_t k) {
+  VAQ_CHECK(k > 0);  // seed: entrypoint-no-check (must return Status)
+  if (Search(query, k).ok()) {  // a *call* is not a definition: no extent
+    return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status VaqIndex::Load(const std::string& path) {
+  VAQ_DCHECK(!path.empty());  // debug-only check: legal in entry points
+  return Status::OK();
+}
+
+void VaqIndex::ValidateInternal(size_t rows) {
+  VAQ_CHECK(rows > 0);  // internal invariant outside Search/Load: legal
+}
+
+}  // namespace vaq

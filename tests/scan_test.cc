@@ -166,9 +166,11 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values<size_t>(1, 63, 64, 65, 128, 500),
         // Subspace prefixes (0 = all 10).
         ::testing::Values<size_t>(0, 1, 3, 10)),
-    [](const ::testing::TestParamInfo<std::tuple<size_t, size_t>>& info) {
-      return "n" + std::to_string(std::get<0>(info.param)) + "_s" +
-             std::to_string(std::get<1>(info.param));
+    // `p`, not `info`: the INSTANTIATE_TEST_SUITE_P expansion wraps this
+    // lambda in a function whose parameter is already named `info`.
+    [](const ::testing::TestParamInfo<std::tuple<size_t, size_t>>& p) {
+      return "n" + std::to_string(std::get<0>(p.param)) + "_s" +
+             std::to_string(std::get<1>(p.param));
     });
 
 TEST(KernelEquivalenceTest, ScalarAndSimdAgreeOnEaScanIncludingStats) {

@@ -324,11 +324,13 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values<size_t>(4, 6, 8),
                        ::testing::Values<size_t>(4, 6),
                        ::testing::Bool()),
+    // `p`, not `info`: the INSTANTIATE_TEST_SUITE_P expansion wraps this
+    // lambda in a function whose parameter is already named `info`.
     [](const ::testing::TestParamInfo<std::tuple<size_t, size_t, bool>>&
-           info) {
-      return "m" + std::to_string(std::get<0>(info.param)) + "_b" +
-             std::to_string(std::get<1>(info.param)) +
-             (std::get<2>(info.param) ? "_clustered" : "_uniform");
+           p) {
+      return "m" + std::to_string(std::get<0>(p.param)) + "_b" +
+             std::to_string(std::get<1>(p.param)) +
+             (std::get<2>(p.param) ? "_clustered" : "_uniform");
     });
 
 }  // namespace
